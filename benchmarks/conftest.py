@@ -1,0 +1,13 @@
+"""Benchmark-suite configuration.
+
+Benches are macro-benchmarks: each reproduces one table/figure of the
+paper in a single measured round (``benchmark.pedantic`` with one
+iteration) — re-running a multi-second evaluation dozens of times would
+add nothing but wall-clock.
+"""
+
+import sys
+from pathlib import Path
+
+# Make the sibling helper importable regardless of invocation directory.
+sys.path.insert(0, str(Path(__file__).parent))

@@ -1,0 +1,36 @@
+"""E8 — Figs 4.9 + 4.10: engine CPU utilization and delay as the number
+of continuously evaluated checks per strategy grows.
+
+Sixteen parallel strategies each evaluate C checks every second.
+Expected shape: CPU utilization grows linearly with C; the evaluation
+delay stays negligible until the combined per-tick work approaches the
+evaluation interval, then queueing sets in.
+"""
+
+from _util import emit, format_rows
+
+from test_fig_4_7_4_8_parallel_strategies import measure
+
+CHECK_COUNTS = (1, 4, 16, 64, 128, 256)
+STRATEGIES = 16
+
+
+def run_sweep():
+    return [measure(STRATEGIES, checks) for checks in CHECK_COUNTS]
+
+
+def test_fig_4_9_4_10(benchmark):
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    emit("Figs 4.9/4.10 engine CPU and delay vs checks per strategy", format_rows(rows))
+
+    utilization = [row["cpu_utilization"] for row in rows]
+    assert all(b >= a - 1e-6 for a, b in zip(utilization, utilization[1:]))
+
+    light = rows[1]   # 4 checks each
+    heavy = rows[-1]  # 256 checks each
+    # Moderate check counts are essentially free...
+    assert light["mean_delay_ms"] < 50.0
+    # ...while hundreds of checks per strategy saturate the engine and
+    # queueing delay becomes visible (the figure's knee).
+    assert heavy["cpu_utilization"] > 0.8
+    assert heavy["mean_delay_ms"] > light["mean_delay_ms"]

@@ -1,0 +1,82 @@
+"""Evaluating checks against the metric store.
+
+Checks read a trailing window of telemetry ending at the evaluation time.
+A window without data yields :data:`CheckOutcome.INCONCLUSIVE` — the
+engine then re-executes phases instead of deciding on no evidence
+(Section 4.3.2's time-based check execution, Fig 4.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bifrost.model import Check, CheckOutcome
+from repro.telemetry.store import MetricStore
+
+
+@dataclass(frozen=True)
+class CheckResult:
+    """One evaluation of one check."""
+
+    check: Check
+    time: float
+    outcome: CheckOutcome
+    observed: float | None
+    reference: float | None
+
+    def describe(self) -> str:
+        """Human-readable one-liner for execution logs."""
+        observed = "n/a" if self.observed is None else f"{self.observed:.3f}"
+        reference = "n/a" if self.reference is None else f"{self.reference:.3f}"
+        return (
+            f"[{self.time:9.1f}s] {self.check.name}: {self.outcome.value} "
+            f"(observed={observed} {self.check.operator} reference={reference})"
+        )
+
+
+class CheckEvaluator:
+    """Evaluates checks on a shared :class:`MetricStore`."""
+
+    def __init__(self, store: MetricStore) -> None:
+        self.store = store
+
+    def evaluate(self, check: Check, now: float) -> CheckResult:
+        """Evaluate *check* on the window ``[now - window, now)``."""
+        start = now - check.window_seconds
+        observed = self.store.aggregate(
+            check.service,
+            check.version,
+            check.metric,
+            check.aggregation,
+            start,
+            now,
+        )
+        if observed is None:
+            return CheckResult(check, now, CheckOutcome.INCONCLUSIVE, None, None)
+        if check.is_relative:
+            baseline = self.store.aggregate(
+                check.service,
+                check.baseline_version or "",
+                check.metric,
+                check.aggregation,
+                start,
+                now,
+            )
+            if baseline is None:
+                return CheckResult(
+                    check, now, CheckOutcome.INCONCLUSIVE, observed, None
+                )
+            reference = baseline * check.tolerance
+        else:
+            assert check.threshold is not None
+            reference = check.threshold * check.tolerance
+        outcome = (
+            CheckOutcome.PASS
+            if check.compare(observed, reference)
+            else CheckOutcome.FAIL
+        )
+        return CheckResult(check, now, outcome, observed, reference)
+
+    def evaluate_all(self, checks: tuple[Check, ...], now: float) -> list[CheckResult]:
+        """Evaluate every check at time *now*."""
+        return [self.evaluate(check, now) for check in checks]

@@ -1,0 +1,292 @@
+"""The experimentation-as-code DSL (Section 4.4).
+
+Strategies are plain text so they can be "shared, reused, and versioned".
+The format is a small indentation-based language::
+
+    strategy recommendation-rollout
+      description "AB Inc recommendation feature"
+      phase canary-phase
+        type canary
+        service recommend
+        stable 1.0.0
+        experimental 2.0.0
+        fraction 0.05
+        duration 300
+        interval 5
+        groups beta_testers
+        min_samples 100
+        check errors
+          metric error
+          aggregation mean
+          operator <=
+          threshold 0.02
+          window 30
+        check latency
+          metric response_time
+          aggregation p95
+          operator <=
+          baseline 1.0.0
+          tolerance 1.25
+          window 30
+        on_success ab-phase
+        on_failure rollback
+        on_inconclusive repeat
+
+Indentation is two spaces per level; blank lines and ``#`` comments are
+ignored.  :func:`strategy_to_dsl` serializes a strategy back; round
+tripping is loss-free for every field the DSL exposes.
+"""
+
+from __future__ import annotations
+
+from repro.errors import DSLError
+from repro.bifrost.model import Check, Phase, PhaseType, Strategy
+
+_PHASE_SCALARS = {
+    "type", "service", "stable", "experimental", "second", "fraction",
+    "duration", "interval", "min_samples", "on_success", "on_failure",
+    "on_inconclusive", "max_repeats", "groups", "steps", "winner_metric",
+    "winner_aggregation", "winner_lower_is_better",
+}
+_CHECK_SCALARS = {
+    "metric", "aggregation", "operator", "threshold", "baseline",
+    "tolerance", "window", "interval",
+}
+
+
+def _indent_of(line: str) -> int:
+    stripped = line.lstrip(" ")
+    spaces = len(line) - len(stripped)
+    if spaces % 2 != 0:
+        raise DSLError(f"odd indentation in line: {line!r}")
+    return spaces // 2
+
+
+def _split(line: str) -> tuple[str, str]:
+    stripped = line.strip()
+    head, _, rest = stripped.partition(" ")
+    return head, rest.strip()
+
+
+def _unquote(value: str) -> str:
+    if len(value) >= 2 and value[0] == value[-1] == '"':
+        return value[1:-1]
+    return value
+
+
+def parse_strategies(text: str) -> list[Strategy]:
+    """Parse a DSL file containing one or more strategy definitions.
+
+    Experimentation-as-code means strategies live in versioned files;
+    teams keep several related strategies together.  Splits on top-level
+    ``strategy`` headers and parses each block.
+    """
+    blocks: list[list[str]] = []
+    for line in text.splitlines():
+        stripped = line.strip()
+        if stripped and not stripped.startswith("#") and _indent_of(line) == 0:
+            head, _ = _split(line)
+            if head == "strategy":
+                blocks.append([])
+        if blocks:
+            blocks[-1].append(line)
+    if not blocks:
+        raise DSLError("no strategy definitions found")
+    strategies = [parse_strategy("\n".join(block)) for block in blocks]
+    names = [s.name for s in strategies]
+    if len(set(names)) != len(names):
+        raise DSLError(f"duplicate strategy names in file: {names}")
+    return strategies
+
+
+def parse_strategy(text: str) -> Strategy:
+    """Parse one strategy definition from DSL *text*."""
+    lines = [
+        (index + 1, line)
+        for index, line in enumerate(text.splitlines())
+        if line.strip() and not line.strip().startswith("#")
+    ]
+    if not lines:
+        raise DSLError("empty strategy definition")
+
+    strategy_name: str | None = None
+    description = ""
+    phases: list[Phase] = []
+    phase_fields: dict[str, str] | None = None
+    phase_name: str | None = None
+    checks: list[Check] = []
+    check_fields: dict[str, str] | None = None
+    check_name: str | None = None
+
+    def finish_check() -> None:
+        nonlocal check_fields, check_name
+        if check_fields is None:
+            return
+        assert check_name is not None and phase_fields is not None
+        threshold = check_fields.get("threshold")
+        baseline = check_fields.get("baseline")
+        checks.append(
+            Check(
+                name=check_name,
+                service=phase_fields.get("service", ""),
+                version=phase_fields.get("experimental", ""),
+                metric=check_fields.get("metric", "response_time"),
+                aggregation=check_fields.get("aggregation", "mean"),
+                operator=check_fields.get("operator", "<="),
+                threshold=float(threshold) if threshold is not None else None,
+                baseline_version=baseline,
+                tolerance=float(check_fields.get("tolerance", "1.0")),
+                window_seconds=float(check_fields.get("window", "30")),
+                interval_seconds=(
+                    float(check_fields["interval"])
+                    if "interval" in check_fields
+                    else None
+                ),
+            )
+        )
+        check_fields = None
+        check_name = None
+
+    def finish_phase() -> None:
+        nonlocal phase_fields, phase_name, checks
+        finish_check()
+        if phase_fields is None:
+            return
+        assert phase_name is not None
+        fields = phase_fields
+        try:
+            phase_type = PhaseType(fields.get("type", "canary"))
+        except ValueError:
+            raise DSLError(
+                f"phase {phase_name!r}: unknown type {fields.get('type')!r}"
+            ) from None
+        groups = frozenset(
+            g.strip() for g in fields.get("groups", "").split(",") if g.strip()
+        )
+        steps = tuple(
+            float(s.strip()) for s in fields.get("steps", "").split(",") if s.strip()
+        )
+        phases.append(
+            Phase(
+                name=phase_name,
+                type=phase_type,
+                service=fields.get("service", ""),
+                stable_version=fields.get("stable", ""),
+                experimental_version=fields.get("experimental", ""),
+                second_version=fields.get("second"),
+                fraction=float(fields.get("fraction", "0.05")),
+                steps=steps,
+                audience_groups=groups,
+                duration_seconds=float(fields.get("duration", "300")),
+                check_interval_seconds=float(fields.get("interval", "5")),
+                checks=tuple(checks),
+                min_samples=int(fields.get("min_samples", "0")),
+                on_success=fields.get("on_success", "complete"),
+                on_failure=fields.get("on_failure", "rollback"),
+                on_inconclusive=fields.get("on_inconclusive", "repeat"),
+                max_repeats=int(fields.get("max_repeats", "1")),
+                winner_metric=fields.get("winner_metric", "response_time"),
+                winner_aggregation=fields.get("winner_aggregation", "mean"),
+                winner_lower_is_better=(
+                    fields.get("winner_lower_is_better", "true").lower() != "false"
+                ),
+            )
+        )
+        phase_fields = None
+        phase_name = None
+        checks = []
+
+    for line_no, line in lines:
+        level = _indent_of(line)
+        keyword, value = _split(line)
+        if level == 0:
+            if keyword != "strategy":
+                raise DSLError(f"line {line_no}: expected 'strategy', got {keyword!r}")
+            if strategy_name is not None:
+                raise DSLError(f"line {line_no}: multiple strategy definitions")
+            strategy_name = value
+        elif level == 1:
+            if keyword == "description":
+                description = _unquote(value)
+            elif keyword == "phase":
+                finish_phase()
+                phase_name = value
+                phase_fields = {}
+            else:
+                raise DSLError(
+                    f"line {line_no}: unexpected {keyword!r} at strategy level"
+                )
+        elif level == 2:
+            if phase_fields is None:
+                raise DSLError(f"line {line_no}: {keyword!r} outside a phase")
+            if keyword == "check":
+                finish_check()
+                check_name = value
+                check_fields = {}
+            elif keyword in _PHASE_SCALARS:
+                finish_check()
+                phase_fields[keyword] = value
+            else:
+                raise DSLError(f"line {line_no}: unknown phase field {keyword!r}")
+        elif level == 3:
+            if check_fields is None:
+                raise DSLError(f"line {line_no}: {keyword!r} outside a check")
+            if keyword not in _CHECK_SCALARS:
+                raise DSLError(f"line {line_no}: unknown check field {keyword!r}")
+            check_fields[keyword] = value
+        else:
+            raise DSLError(f"line {line_no}: indentation too deep")
+
+    finish_phase()
+    if strategy_name is None:
+        raise DSLError("missing 'strategy <name>' header")
+    return Strategy(name=strategy_name, phases=tuple(phases), description=description)
+
+
+def strategy_to_dsl(strategy: Strategy) -> str:
+    """Serialize *strategy* back to DSL text."""
+    out: list[str] = [f"strategy {strategy.name}"]
+    if strategy.description:
+        out.append(f'  description "{strategy.description}"')
+    for phase in strategy.phases:
+        out.append(f"  phase {phase.name}")
+        out.append(f"    type {phase.type.value}")
+        out.append(f"    service {phase.service}")
+        out.append(f"    stable {phase.stable_version}")
+        out.append(f"    experimental {phase.experimental_version}")
+        if phase.second_version:
+            out.append(f"    second {phase.second_version}")
+        out.append(f"    fraction {phase.fraction}")
+        if phase.steps:
+            out.append(f"    steps {', '.join(str(s) for s in phase.steps)}")
+        if phase.audience_groups:
+            out.append(f"    groups {', '.join(sorted(phase.audience_groups))}")
+        out.append(f"    duration {phase.duration_seconds}")
+        out.append(f"    interval {phase.check_interval_seconds}")
+        if phase.min_samples:
+            out.append(f"    min_samples {phase.min_samples}")
+        if phase.type is PhaseType.AB_TEST:
+            out.append(f"    winner_metric {phase.winner_metric}")
+            out.append(f"    winner_aggregation {phase.winner_aggregation}")
+            out.append(
+                "    winner_lower_is_better "
+                + ("true" if phase.winner_lower_is_better else "false")
+            )
+        for check in phase.checks:
+            out.append(f"    check {check.name}")
+            out.append(f"      metric {check.metric}")
+            out.append(f"      aggregation {check.aggregation}")
+            out.append(f"      operator {check.operator}")
+            if check.threshold is not None:
+                out.append(f"      threshold {check.threshold}")
+            if check.baseline_version is not None:
+                out.append(f"      baseline {check.baseline_version}")
+            out.append(f"      tolerance {check.tolerance}")
+            out.append(f"      window {check.window_seconds}")
+            if check.interval_seconds is not None:
+                out.append(f"      interval {check.interval_seconds}")
+        out.append(f"    on_success {phase.on_success}")
+        out.append(f"    on_failure {phase.on_failure}")
+        out.append(f"    on_inconclusive {phase.on_inconclusive}")
+        out.append(f"    max_repeats {phase.max_repeats}")
+    return "\n".join(out) + "\n"

@@ -1,0 +1,465 @@
+"""The Bifrost execution engine (Section 4.4).
+
+The engine owns strategy executions: it installs routing configurations
+when a phase starts, periodically evaluates the phase's checks, and
+enacts the conditional chaining — advancing to the next phase on success,
+rolling back on failure, and re-executing on inconclusive data.
+
+Engine work (check evaluations, route updates) is charged to a
+:class:`~repro.simulation.executor.SimulatedExecutor`, which yields the
+CPU-utilization and check-delay measurements of Figs 4.7–4.10.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field, replace
+
+from repro.errors import ExecutionError
+from repro.bifrost.checks import CheckEvaluator, CheckResult
+from repro.bifrost.model import (
+    Check,
+    REPEAT,
+    TERMINAL_ABORT,
+    TERMINAL_COMPLETE,
+    TERMINAL_ROLLBACK,
+    TERMINAL_STATES,
+    Action,
+    CheckOutcome,
+    Phase,
+    PhaseType,
+    Strategy,
+    StrategyOutcome,
+)
+from repro.bifrost.state_machine import StateMachine
+from repro.microservices.application import Application
+from repro.routing.proxy import VersionRouter
+from repro.routing.rules import AudienceFilter, ExperimentRoute
+from repro.routing.splitter import (
+    ab_split,
+    canary_split,
+    dark_launch_split,
+    rollout_split,
+)
+from repro.simulation.engine import SimulationEngine
+from repro.simulation.executor import SimulatedExecutor
+from repro.telemetry.store import MetricStore
+
+
+@dataclass(frozen=True)
+class EngineCosts:
+    """Simulated processing costs of engine operations, in seconds.
+
+    Calibrated so that a handful of strategies is effectively free while
+    hundreds of strategies with many checks approach saturation of the
+    single-threaded engine — the regime the paper probes.
+    """
+
+    tick_base: float = 0.0010
+    per_check: float = 0.0004
+    route_update: float = 0.0020
+
+
+@dataclass
+class TransitionRecord:
+    """One state change of a strategy execution."""
+
+    time: float
+    source: str
+    target: str
+    trigger: str
+    action: Action
+
+
+@dataclass
+class StrategyExecution:
+    """Mutable runtime state of one submitted strategy."""
+
+    strategy: Strategy
+    machine: StateMachine
+    state: str
+    started_at: float
+    phase_started_at: float
+    outcome: StrategyOutcome = StrategyOutcome.RUNNING
+    repeats: dict[str, int] = field(default_factory=dict)
+    transitions: list[TransitionRecord] = field(default_factory=list)
+    check_log: list[CheckResult] = field(default_factory=list)
+    winner: str | None = None
+    rollout_step: int = -1
+    finished_at: float | None = None
+    check_next_due: dict[str, float] = field(default_factory=dict)
+    check_last: dict[str, CheckOutcome] = field(default_factory=dict)
+
+    @property
+    def running(self) -> bool:
+        """Whether the execution is still in a phase state."""
+        return self.outcome is StrategyOutcome.RUNNING
+
+    @property
+    def current_phase(self) -> Phase:
+        """The phase the execution currently runs."""
+        return self.strategy.phase(self.state)
+
+
+class BifrostEngine:
+    """Schedules and drives strategy executions on simulated time."""
+
+    def __init__(
+        self,
+        simulation: SimulationEngine,
+        application: Application,
+        router: VersionRouter,
+        store: MetricStore,
+        costs: EngineCosts | None = None,
+        executor: SimulatedExecutor | None = None,
+    ) -> None:
+        self.simulation = simulation
+        self.application = application
+        self.router = router
+        self.store = store
+        self.costs = costs or EngineCosts()
+        self.executor = executor or SimulatedExecutor()
+        self.evaluator = CheckEvaluator(store)
+        self.executions: list[StrategyExecution] = []
+        self._counter = itertools.count(1)
+
+    def submit(self, strategy: Strategy, at: float | None = None) -> StrategyExecution:
+        """Register *strategy* to start at time *at* (default: now).
+
+        Fails fast when a phase references a service or version that is
+        not deployed — a misconfigured experiment must never take down
+        the engine mid-simulation.
+        """
+        start = self.simulation.now if at is None else at
+        if start < self.simulation.now:
+            raise ExecutionError(
+                f"cannot start strategy in the past ({start} < {self.simulation.now})"
+            )
+        for phase in strategy.phases:
+            if not self.application.has_service(phase.service):
+                raise ExecutionError(
+                    f"strategy {strategy.name!r}, phase {phase.name!r}: "
+                    f"service {phase.service!r} is not deployed"
+                )
+            service = self.application.service(phase.service)
+            needed = {phase.stable_version, phase.experimental_version}
+            if phase.second_version:
+                needed.add(phase.second_version)
+            for version in sorted(needed):
+                if not service.has_version(version):
+                    raise ExecutionError(
+                        f"strategy {strategy.name!r}, phase {phase.name!r}: "
+                        f"{phase.service}@{version} is not deployed"
+                    )
+        execution = StrategyExecution(
+            strategy=strategy,
+            machine=StateMachine(strategy),
+            state=strategy.entry.name,
+            started_at=start,
+            phase_started_at=start,
+        )
+        self.executions.append(execution)
+        self.simulation.schedule_at(
+            start,
+            lambda: self._enter_phase(execution, strategy.entry.name),
+            label=f"start:{strategy.name}",
+        )
+        return execution
+
+    # -- phase lifecycle ---------------------------------------------------
+
+    def _enter_phase(self, execution: StrategyExecution, phase_name: str) -> None:
+        if not execution.running:
+            return
+        execution.state = phase_name
+        execution.phase_started_at = self.simulation.now
+        execution.rollout_step = -1
+        execution.check_next_due = {}
+        execution.check_last = {}
+        phase = execution.current_phase
+        self._install_route(execution, phase)
+        self.executor.submit(
+            self.simulation.now, self.costs.route_update,
+            label=f"{execution.strategy.name}:route",
+        )
+        self._schedule_tick(execution, phase)
+
+    def _schedule_tick(self, execution: StrategyExecution, phase: Phase) -> None:
+        self.simulation.schedule_in(
+            phase.check_interval_seconds,
+            lambda: self._tick(execution),
+            label=f"tick:{execution.strategy.name}:{phase.name}",
+        )
+
+    def _tick(self, execution: StrategyExecution) -> None:
+        if not execution.running:
+            return
+        now = self.simulation.now
+        phase = execution.current_phase
+        # Fig 4.3's time-based execution: every check carries its own
+        # evaluation interval (defaulting to the phase's), so only the
+        # checks that are *due* run this tick.
+        effective = self._effective_checks(execution, phase)
+        due = tuple(
+            check
+            for check in effective
+            if now + 1e-9 >= execution.check_next_due.get(check.name, 0.0)
+        )
+        # Charge the engine for this evaluation round.
+        cost = self.costs.tick_base + self.costs.per_check * len(due)
+        self.executor.submit(
+            now, cost, label=f"{execution.strategy.name}:{phase.name}"
+        )
+        results = self.evaluator.evaluate_all(due, now)
+        execution.check_log.extend(results)
+        for check, result in zip(due, results):
+            execution.check_last[check.name] = result.outcome
+            interval = check.interval_seconds or phase.check_interval_seconds
+            execution.check_next_due[check.name] = now + interval
+
+        if any(result.outcome is CheckOutcome.FAIL for result in results):
+            self._transition(execution, phase, "failure")
+            return
+
+        phase_elapsed = now - execution.phase_started_at
+        if phase.type is PhaseType.GRADUAL_ROLLOUT:
+            self._maybe_advance_rollout(execution, phase, phase_elapsed)
+
+        if phase_elapsed + 1e-9 >= phase.duration_seconds:
+            # Decide on each check's *latest* outcome; a check that never
+            # produced data counts as inconclusive.
+            last_outcomes = {
+                execution.check_last.get(check.name, CheckOutcome.INCONCLUSIVE)
+                for check in effective
+            }
+            if (
+                CheckOutcome.INCONCLUSIVE in last_outcomes
+                or not self._enough_samples(execution, phase)
+            ):
+                self._transition(execution, phase, "inconclusive")
+                return
+            if phase.type is PhaseType.AB_TEST:
+                execution.winner = self._pick_winner(execution, phase)
+            self._transition(execution, phase, "success")
+            return
+        self._schedule_tick(execution, phase)
+
+    def _effective_checks(
+        self, execution: StrategyExecution, phase: Phase
+    ) -> tuple[Check, ...]:
+        """Checks with the version under test substituted.
+
+        When an earlier A/B phase picked a winner, later phases route the
+        winner — checks written against the phase's declared experimental
+        version must follow it or they would evaluate a version that no
+        longer serves traffic.
+        """
+        effective = self._experimental_version(execution, phase)
+        if effective == phase.experimental_version:
+            return phase.checks
+        return tuple(
+            replace(check, version=effective)
+            if check.version == phase.experimental_version
+            else check
+            for check in phase.checks
+        )
+
+    def _enough_samples(self, execution: StrategyExecution, phase: Phase) -> bool:
+        if phase.min_samples <= 0:
+            return True
+        served = self.store.aggregate(
+            phase.service,
+            self._experimental_version(execution, phase),
+            "throughput",
+            "count",
+            execution.phase_started_at,
+            self.simulation.now,
+        )
+        return (served or 0.0) >= phase.min_samples
+
+    def _pick_winner(self, execution: StrategyExecution, phase: Phase) -> str:
+        """Compare the two A/B variants on the phase's winner metric."""
+        assert phase.second_version is not None
+        start = execution.phase_started_at
+        now = self.simulation.now
+        values = {}
+        for version in (phase.experimental_version, phase.second_version):
+            values[version] = self.store.aggregate(
+                phase.service,
+                version,
+                phase.winner_metric,
+                phase.winner_aggregation,
+                start,
+                now,
+            )
+        a = values[phase.experimental_version]
+        b = values[phase.second_version]
+        if a is None and b is None:
+            return phase.experimental_version
+        if a is None:
+            return phase.second_version
+        if b is None:
+            return phase.experimental_version
+        if phase.winner_lower_is_better:
+            return (
+                phase.experimental_version if a <= b else phase.second_version
+            )
+        return phase.experimental_version if a >= b else phase.second_version
+
+    def _maybe_advance_rollout(
+        self, execution: StrategyExecution, phase: Phase, elapsed: float
+    ) -> None:
+        step_duration = phase.duration_seconds / len(phase.steps)
+        step = min(int(elapsed / step_duration), len(phase.steps) - 1)
+        if step != execution.rollout_step:
+            execution.rollout_step = step
+            self._install_route(execution, phase)
+            self.executor.submit(
+                self.simulation.now,
+                self.costs.route_update,
+                label=f"{execution.strategy.name}:rollout-step",
+            )
+
+    # -- transitions and actions -------------------------------------------
+
+    def _transition(
+        self, execution: StrategyExecution, phase: Phase, trigger: str
+    ) -> None:
+        target = execution.machine.next_state(phase.name, trigger)
+        if trigger == "inconclusive" and (
+            target == phase.name or phase.on_inconclusive == REPEAT
+        ):
+            used = execution.repeats.get(phase.name, 0)
+            if used >= phase.max_repeats:
+                # Out of repeats: inconclusive data is treated as failure.
+                target = execution.machine.next_state(phase.name, "failure")
+                trigger = "failure"
+            else:
+                execution.repeats[phase.name] = used + 1
+                execution.transitions.append(
+                    TransitionRecord(
+                        self.simulation.now, phase.name, phase.name,
+                        "inconclusive", Action.REPEAT,
+                    )
+                )
+                self._enter_phase(execution, phase.name)
+                return
+        action = self._action_for(target, trigger)
+        execution.transitions.append(
+            TransitionRecord(self.simulation.now, phase.name, target, trigger, action)
+        )
+        if target in TERMINAL_STATES:
+            self._finalize(execution, target)
+        else:
+            self._enter_phase(execution, target)
+
+    def _action_for(self, target: str, trigger: str) -> Action:
+        if target == TERMINAL_COMPLETE:
+            return Action.PROMOTE
+        if target == TERMINAL_ROLLBACK:
+            return Action.ROLLBACK
+        if target == TERMINAL_ABORT:
+            return Action.ABORT
+        return Action.CONTINUE
+
+    def _finalize(self, execution: StrategyExecution, terminal: str) -> None:
+        execution.state = terminal
+        execution.finished_at = self.simulation.now
+        for service in execution.strategy.services:
+            self.router.uninstall(service)
+        self.executor.submit(
+            self.simulation.now,
+            self.costs.route_update,
+            label=f"{execution.strategy.name}:teardown",
+        )
+        if terminal == TERMINAL_COMPLETE:
+            execution.outcome = StrategyOutcome.COMPLETED
+            final_phase = execution.strategy.phases[-1]
+            winner = execution.winner or self._experimental_version(
+                execution, final_phase
+            )
+            service = self.application.service(final_phase.service)
+            if service.has_version(winner):
+                service.promote(winner)
+        elif terminal == TERMINAL_ROLLBACK:
+            execution.outcome = StrategyOutcome.ROLLED_BACK
+        else:
+            execution.outcome = StrategyOutcome.ABORTED
+
+    # -- routing -----------------------------------------------------------
+
+    def _experimental_version(
+        self, execution: StrategyExecution, phase: Phase
+    ) -> str:
+        """The variant under test, honoring an earlier A/B winner."""
+        if execution.winner is not None and phase.type in (
+            PhaseType.GRADUAL_ROLLOUT,
+            PhaseType.CANARY,
+        ):
+            return execution.winner
+        return phase.experimental_version
+
+    def _install_route(self, execution: StrategyExecution, phase: Phase) -> None:
+        audience = AudienceFilter(groups=frozenset(phase.audience_groups))
+        experimental = self._experimental_version(execution, phase)
+        shadow: tuple[str, ...] = ()
+        if phase.type is PhaseType.CANARY:
+            variants = canary_split(
+                phase.stable_version, experimental, phase.fraction
+            )
+        elif phase.type is PhaseType.DARK_LAUNCH:
+            variants = dark_launch_split(phase.stable_version)
+            shadow = (experimental,)
+        elif phase.type is PhaseType.AB_TEST:
+            assert phase.second_version is not None
+            variants = ab_split(
+                phase.experimental_version, phase.second_version, phase.fraction
+            )
+        else:  # GRADUAL_ROLLOUT
+            step = max(execution.rollout_step, 0)
+            variants = rollout_split(
+                phase.stable_version, experimental, phase.steps[step]
+            )
+        route = ExperimentRoute(
+            experiment=execution.strategy.name,
+            service=phase.service,
+            variants=variants,
+            audience=audience,
+            shadow_versions=shadow,
+        )
+        self.router.install(route)
+
+    # -- operator actions ------------------------------------------------------
+
+    def cancel(self, strategy_name: str) -> StrategyExecution:
+        """Abort a running strategy: traffic reverts to stable immediately.
+
+        Experiments "get canceled frequently" (Section 1.2.2); canceling
+        is the manual counterpart of the automated rollback and frees the
+        traffic Fenrir's reevaluation can then reassign.
+        """
+        for execution in self.executions:
+            if execution.strategy.name == strategy_name:
+                if execution.running:
+                    execution.transitions.append(
+                        TransitionRecord(
+                            self.simulation.now,
+                            execution.state,
+                            TERMINAL_ABORT,
+                            "canceled",
+                            Action.ABORT,
+                        )
+                    )
+                    self._finalize(execution, TERMINAL_ABORT)
+                return execution
+        raise ExecutionError(f"no strategy named {strategy_name!r} submitted")
+
+    # -- reporting -----------------------------------------------------------
+
+    def outcomes(self) -> dict[str, StrategyOutcome]:
+        """Outcome per submitted strategy."""
+        return {e.strategy.name: e.outcome for e in self.executions}
+
+    def running_count(self) -> int:
+        """Number of strategies still executing."""
+        return sum(1 for e in self.executions if e.running)

@@ -1,0 +1,113 @@
+"""The Bifrost middleware facade (Fig 4.4).
+
+Wires together everything an experiment execution needs — the simulated
+application, the traffic-routing proxy layer, telemetry, the simulation
+kernel, and the engine — behind one object.  Callers deploy versions,
+submit strategies (as objects or DSL text), and replay a workload; the
+facade interleaves request execution with engine events on the shared
+simulated clock.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.bifrost.dsl import parse_strategy
+from repro.bifrost.engine import BifrostEngine, EngineCosts, StrategyExecution
+from repro.bifrost.model import Strategy, StrategyOutcome
+from repro.microservices.application import Application
+from repro.microservices.runtime import RequestOutcome, Runtime
+from repro.routing.proxy import VersionRouter
+from repro.simulation.clock import SimulationClock
+from repro.simulation.engine import SimulationEngine
+from repro.traffic.workload import Request
+
+
+class Bifrost:
+    """One-stop middleware for executing live testing strategies."""
+
+    def __init__(
+        self,
+        application: Application,
+        seed: int = 42,
+        proxy_overhead_ms: float = 2.0,
+        costs: EngineCosts | None = None,
+    ) -> None:
+        self.application = application
+        self.clock = SimulationClock()
+        self.simulation = SimulationEngine(self.clock)
+        self.router = VersionRouter()
+        self.runtime = Runtime(
+            application,
+            router=self.router,
+            clock=self.clock,
+            seed=seed,
+            proxy_overhead_ms=proxy_overhead_ms,
+        )
+        self.engine = BifrostEngine(
+            simulation=self.simulation,
+            application=application,
+            router=self.router,
+            store=self.runtime.monitor.store,
+            costs=costs,
+        )
+        self.outcomes: list[RequestOutcome] = []
+
+    @property
+    def collector(self):
+        """The trace collector fed by the runtime."""
+        return self.runtime.collector
+
+    @property
+    def store(self):
+        """The shared metric store checks evaluate against."""
+        return self.runtime.monitor.store
+
+    def submit(self, strategy: Strategy | str, at: float | None = None) -> StrategyExecution:
+        """Submit a strategy object or DSL text for execution."""
+        if isinstance(strategy, str):
+            strategy = parse_strategy(strategy)
+        return self.engine.submit(strategy, at=at)
+
+    def run(self, workload: Iterable[Request], until: float | None = None) -> list[RequestOutcome]:
+        """Replay *workload*, interleaving engine events by timestamp.
+
+        Returns the request outcomes of this run (also appended to
+        :attr:`outcomes`).  With *until*, the engine keeps running after
+        the workload drains — e.g. to let strategies finish.
+        """
+        produced: list[RequestOutcome] = []
+        for request in workload:
+            self.simulation.run_until(max(request.timestamp, self.simulation.now))
+            outcome = self.runtime.execute(request)
+            produced.append(outcome)
+        if until is not None:
+            self.simulation.run_until(until)
+        self.outcomes.extend(produced)
+        return produced
+
+    def run_until_settled(
+        self,
+        workload_factory,
+        chunk_seconds: float = 60.0,
+        max_seconds: float = 86_400.0,
+    ) -> list[RequestOutcome]:
+        """Drive chunks of workload until every strategy finished.
+
+        *workload_factory(start, duration)* must return an iterable of
+        requests covering ``[start, start + duration)``.
+        """
+        produced: list[RequestOutcome] = []
+        while self.engine.running_count() and self.simulation.now < max_seconds:
+            start = self.simulation.now
+            chunk = workload_factory(start, chunk_seconds)
+            # run() already records the outcomes on self.outcomes.
+            produced.extend(self.run(chunk, until=start + chunk_seconds))
+        return produced
+
+    def outcome_of(self, strategy_name: str) -> StrategyOutcome:
+        """Terminal (or running) status of a submitted strategy."""
+        for execution in self.engine.executions:
+            if execution.strategy.name == strategy_name:
+                return execution.outcome
+        raise KeyError(f"no strategy named {strategy_name!r} submitted")

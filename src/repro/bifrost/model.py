@@ -1,0 +1,280 @@
+"""The live testing model (Section 4.3).
+
+A *strategy* is an ordered collection of *phases*, each applying one
+experimentation practice (canary, dark launch, A/B test, gradual rollout)
+to a service.  Each phase specifies *checks* — windowed metric conditions
+— and the conditional chaining: which phase (or terminal state) follows
+on success, failure, or inconclusive data.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+
+#: Names of the built-in terminal states every strategy may target.
+TERMINAL_COMPLETE = "complete"
+TERMINAL_ROLLBACK = "rollback"
+TERMINAL_ABORT = "abort"
+TERMINAL_STATES = frozenset({TERMINAL_COMPLETE, TERMINAL_ROLLBACK, TERMINAL_ABORT})
+#: Pseudo-target: re-execute the current phase (collect more data).
+REPEAT = "repeat"
+
+
+class PhaseType(enum.Enum):
+    """The experimentation practices a phase can apply (Section 2.2.1)."""
+
+    CANARY = "canary"
+    DARK_LAUNCH = "dark_launch"
+    AB_TEST = "ab_test"
+    GRADUAL_ROLLOUT = "gradual_rollout"
+
+
+class CheckOutcome(enum.Enum):
+    """Result of evaluating one check at one point in time."""
+
+    PASS = "pass"
+    FAIL = "fail"
+    INCONCLUSIVE = "inconclusive"
+
+
+class Action(enum.Enum):
+    """Automated actions the engine takes on transitions."""
+
+    CONTINUE = "continue"
+    PROMOTE = "promote"
+    ROLLBACK = "rollback"
+    REPEAT = "repeat"
+    ABORT = "abort"
+
+
+_OPERATORS = {"<", "<=", ">", ">="}
+
+
+@dataclass(frozen=True)
+class Check:
+    """A health criterion evaluated periodically during a phase.
+
+    Two kinds exist:
+
+    - **threshold** checks compare a windowed aggregate against an
+      absolute threshold (``mean response_time of v2 <= 150 ms``),
+    - **relative** checks compare the experimental version against a
+      baseline version of the same service with a tolerance factor
+      (``mean response_time of v2 <= 1.2 * mean response_time of v1``) —
+      the "apples to apples comparison" practitioners described.
+
+    Attributes:
+        name: check identifier within the phase.
+        service: service whose metrics are inspected.
+        version: the (experimental) version under test.
+        metric: metric name, e.g. ``response_time`` or ``error``.
+        aggregation: windowed aggregation (``mean``, ``p95``, ...).
+        operator: comparison operator; the check passes when
+            ``observed OP reference`` holds.
+        threshold: absolute reference value (threshold checks).
+        baseline_version: reference version (relative checks).
+        tolerance: multiplier applied to the baseline aggregate.
+        window_seconds: length of the trailing data window.
+        interval_seconds: per-check evaluation interval (Fig 4.3's
+            time-based execution of multiple checks); None inherits the
+            phase's interval.
+    """
+
+    name: str
+    service: str
+    version: str
+    metric: str
+    aggregation: str = "mean"
+    operator: str = "<="
+    threshold: float | None = None
+    baseline_version: str | None = None
+    tolerance: float = 1.0
+    window_seconds: float = 30.0
+    interval_seconds: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.operator not in _OPERATORS:
+            raise ConfigurationError(
+                f"check {self.name!r}: operator must be one of {_OPERATORS}"
+            )
+        if (self.threshold is None) == (self.baseline_version is None):
+            raise ConfigurationError(
+                f"check {self.name!r}: set exactly one of threshold / "
+                "baseline_version"
+            )
+        if self.tolerance <= 0:
+            raise ConfigurationError(f"check {self.name!r}: tolerance must be > 0")
+        if self.window_seconds <= 0:
+            raise ConfigurationError(
+                f"check {self.name!r}: window_seconds must be > 0"
+            )
+        if self.interval_seconds is not None and self.interval_seconds <= 0:
+            raise ConfigurationError(
+                f"check {self.name!r}: interval_seconds must be > 0 when set"
+            )
+
+    @property
+    def is_relative(self) -> bool:
+        """Whether the check compares against a baseline version."""
+        return self.baseline_version is not None
+
+    def compare(self, observed: float, reference: float) -> bool:
+        """Apply the operator to (observed, reference)."""
+        if self.operator == "<":
+            return observed < reference
+        if self.operator == "<=":
+            return observed <= reference
+        if self.operator == ">":
+            return observed > reference
+        return observed >= reference
+
+
+@dataclass(frozen=True)
+class Phase:
+    """One phase of a live testing strategy.
+
+    Attributes:
+        name: unique phase name within the strategy.
+        type: which experimentation practice the phase applies.
+        service: the service under experimentation.
+        stable_version: the current production version.
+        experimental_version: the version under test.
+        second_version: the alternative variant (A/B tests only).
+        fraction: traffic share for the experimental variant (canary) or
+            the A/B split given to ``experimental_version``.
+        steps: rollout fractions for gradual rollouts.
+        audience_groups: restrict the experiment to these user groups.
+        duration_seconds: how long the phase collects data.
+        check_interval_seconds: how often checks are evaluated.
+        checks: the phase's health criteria.
+        min_samples: minimum experimental-variant requests before the
+            success transition may fire.
+        on_success / on_failure / on_inconclusive: next phase name, a
+            terminal state, or ``repeat``.
+        max_repeats: how often an inconclusive phase may re-execute.
+        winner_metric / winner_aggregation / winner_lower_is_better:
+            how A/B phases pick the winning variant at phase end.
+    """
+
+    name: str
+    type: PhaseType
+    service: str
+    stable_version: str
+    experimental_version: str
+    second_version: str | None = None
+    fraction: float = 0.05
+    steps: tuple[float, ...] = ()
+    audience_groups: frozenset[str] = frozenset()
+    duration_seconds: float = 300.0
+    check_interval_seconds: float = 5.0
+    checks: tuple[Check, ...] = ()
+    min_samples: int = 0
+    on_success: str = TERMINAL_COMPLETE
+    on_failure: str = TERMINAL_ROLLBACK
+    on_inconclusive: str = REPEAT
+    max_repeats: int = 1
+    winner_metric: str = "response_time"
+    winner_aggregation: str = "mean"
+    winner_lower_is_better: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("phase name must be non-empty")
+        if self.type is PhaseType.AB_TEST and not self.second_version:
+            raise ConfigurationError(
+                f"phase {self.name!r}: A/B tests need a second_version"
+            )
+        if self.type is PhaseType.GRADUAL_ROLLOUT and not self.steps:
+            raise ConfigurationError(
+                f"phase {self.name!r}: gradual rollouts need steps"
+            )
+        if self.steps and any(not 0.0 <= s <= 1.0 for s in self.steps):
+            raise ConfigurationError(
+                f"phase {self.name!r}: steps must lie in [0, 1]"
+            )
+        if self.type in (PhaseType.CANARY, PhaseType.AB_TEST):
+            if not 0.0 < self.fraction < 1.0:
+                raise ConfigurationError(
+                    f"phase {self.name!r}: fraction must be in (0, 1)"
+                )
+        if self.duration_seconds <= 0:
+            raise ConfigurationError(
+                f"phase {self.name!r}: duration_seconds must be > 0"
+            )
+        if self.check_interval_seconds <= 0:
+            raise ConfigurationError(
+                f"phase {self.name!r}: check_interval_seconds must be > 0"
+            )
+        if self.min_samples < 0:
+            raise ConfigurationError(f"phase {self.name!r}: min_samples >= 0")
+        if self.max_repeats < 0:
+            raise ConfigurationError(f"phase {self.name!r}: max_repeats >= 0")
+
+
+class StrategyOutcome(enum.Enum):
+    """Terminal (or running) status of a strategy execution."""
+
+    RUNNING = "running"
+    COMPLETED = "completed"
+    ROLLED_BACK = "rolled_back"
+    ABORTED = "aborted"
+
+
+@dataclass(frozen=True)
+class Strategy:
+    """A complete multi-phase live testing strategy.
+
+    The first phase is the entry state; transitions reference other
+    phases by name or one of the terminal states ``complete``,
+    ``rollback``, ``abort`` (or ``repeat``).
+    """
+
+    name: str
+    phases: tuple[Phase, ...]
+    description: str = ""
+    tags: tuple[str, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("strategy name must be non-empty")
+        if not self.phases:
+            raise ConfigurationError(f"strategy {self.name!r} needs phases")
+        names = [p.name for p in self.phases]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(
+                f"strategy {self.name!r} has duplicate phase names: {names}"
+            )
+        valid_targets = set(names) | TERMINAL_STATES | {REPEAT}
+        for phase in self.phases:
+            for target in (phase.on_success, phase.on_failure, phase.on_inconclusive):
+                if target not in valid_targets:
+                    raise ConfigurationError(
+                        f"strategy {self.name!r}, phase {phase.name!r}: "
+                        f"unknown transition target {target!r}"
+                    )
+
+    @property
+    def entry(self) -> Phase:
+        """The first phase executed."""
+        return self.phases[0]
+
+    def phase(self, name: str) -> Phase:
+        """Look up a phase by name."""
+        for phase in self.phases:
+            if phase.name == name:
+                return phase
+        raise ConfigurationError(
+            f"strategy {self.name!r} has no phase {name!r}"
+        )
+
+    @property
+    def services(self) -> frozenset[str]:
+        """All services the strategy touches."""
+        return frozenset(p.service for p in self.phases)
+
+    def total_checks(self) -> int:
+        """Number of checks across all phases."""
+        return sum(len(p.checks) for p in self.phases)

@@ -1,0 +1,155 @@
+"""Live previews of runtime changes (Section 1.6.3, implemented).
+
+The dissertation envisions injecting code changes into "a separate, but
+identical version of the current application running in parallel", with
+every production request duplicated to it so developers "immediately see
+the effects of code changes ... before affected code changes are even
+committed".  A dark launch gives exactly that mechanism:
+:class:`LivePreview` deploys the candidate version, shadows production
+traffic onto it, and reports side-by-side metric deltas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.microservices.application import Application
+from repro.microservices.service import ServiceVersion
+from repro.routing.proxy import VersionRouter
+from repro.routing.rules import ExperimentRoute
+from repro.routing.splitter import dark_launch_split
+from repro.telemetry.store import MetricStore
+
+
+@dataclass(frozen=True)
+class MetricDelta:
+    """Side-by-side comparison of one metric between the two versions."""
+
+    metric: str
+    aggregation: str
+    stable: float | None
+    candidate: float | None
+
+    @property
+    def delta(self) -> float | None:
+        """candidate - stable (None while either side lacks data)."""
+        if self.stable is None or self.candidate is None:
+            return None
+        return self.candidate - self.stable
+
+    @property
+    def relative(self) -> float | None:
+        """Relative change (None when undefined)."""
+        if self.delta is None or not self.stable:
+            return None
+        return self.delta / self.stable
+
+    def describe(self) -> str:
+        """One IDE-panel line."""
+        if self.delta is None:
+            return f"{self.aggregation}({self.metric}): collecting…"
+        sign = "+" if self.delta >= 0 else ""
+        rel = f" ({sign}{self.relative:.1%})" if self.relative is not None else ""
+        return (
+            f"{self.aggregation}({self.metric}): {self.stable:.2f} -> "
+            f"{self.candidate:.2f} [{sign}{self.delta:.2f}{rel}]"
+        )
+
+
+class LivePreview:
+    """Shadows production traffic onto a candidate version.
+
+    The candidate is deployed alongside the stable version and receives
+    duplicated requests; its work never reaches users.  Call
+    :meth:`deltas` at any time for the current comparison and
+    :meth:`stop` to tear the preview down (and optionally undeploy).
+    """
+
+    def __init__(
+        self,
+        application: Application,
+        router: VersionRouter,
+        store: MetricStore,
+        service: str,
+    ) -> None:
+        self.application = application
+        self.router = router
+        self.store = store
+        self.service = service
+        self._candidate: str | None = None
+        self._started_at: float | None = None
+
+    @property
+    def active(self) -> bool:
+        """Whether a preview is currently shadowing traffic."""
+        return self._candidate is not None
+
+    def start(self, candidate: ServiceVersion, at: float) -> None:
+        """Deploy *candidate* and begin duplicating traffic onto it."""
+        if self.active:
+            raise ConfigurationError(
+                f"a preview of {self.service!r} is already running"
+            )
+        if candidate.service != self.service:
+            raise ConfigurationError(
+                f"candidate belongs to {candidate.service!r}, preview targets "
+                f"{self.service!r}"
+            )
+        self.application.deploy(candidate)
+        stable = self.application.stable_version(self.service)
+        if candidate.version == stable:
+            raise ConfigurationError(
+                "candidate version must differ from the stable version"
+            )
+        self.router.install(
+            ExperimentRoute(
+                experiment=f"preview-{self.service}",
+                service=self.service,
+                variants=dark_launch_split(stable),
+                shadow_versions=(candidate.version,),
+            )
+        )
+        self._candidate = candidate.version
+        self._started_at = at
+
+    def deltas(
+        self,
+        now: float,
+        metrics: tuple[tuple[str, str], ...] = (
+            ("response_time", "mean"),
+            ("response_time", "p95"),
+            ("error", "mean"),
+        ),
+    ) -> list[MetricDelta]:
+        """Current stable-vs-candidate comparison since the preview began."""
+        if not self.active or self._started_at is None:
+            raise ConfigurationError("preview is not running")
+        stable = self.application.stable_version(self.service)
+        out = []
+        for metric, aggregation in metrics:
+            out.append(
+                MetricDelta(
+                    metric=metric,
+                    aggregation=aggregation,
+                    stable=self.store.aggregate(
+                        self.service, stable, metric, aggregation,
+                        self._started_at, now,
+                    ),
+                    candidate=self.store.aggregate(
+                        self.service, self._candidate or "", metric, aggregation,
+                        self._started_at, now,
+                    ),
+                )
+            )
+        return out
+
+    def stop(self, undeploy: bool = True) -> None:
+        """Stop shadowing; optionally remove the candidate deployment."""
+        if not self.active:
+            return
+        self.router.uninstall(self.service)
+        if undeploy and self._candidate is not None:
+            self.application.service(self.service).undeploy(self._candidate)
+        self._candidate = None
+        self._started_at = None

@@ -1,0 +1,124 @@
+"""The implementation-technique advisor (Section 1.6.2, implemented).
+
+The dissertation envisions "smart experimentation platforms" that decide
+*how* experimentation logic is executed: feature toggles on a single
+instance when that suffices, or splitting experimental versions onto
+separate deployments behind traffic routing "for better load
+distribution".  This module implements that decision as an explicit,
+testable policy over the experiment's characteristics.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.core.experiment import Experiment, ExperimentPractice
+from repro.errors import ConfigurationError
+
+
+class Technique(enum.Enum):
+    """How the experimentation logic is executed."""
+
+    FEATURE_TOGGLE = "feature_toggle"
+    TRAFFIC_ROUTING = "traffic_routing"
+
+
+@dataclass(frozen=True)
+class TechniqueAdvice:
+    """The advisor's recommendation with its reasoning."""
+
+    technique: Technique
+    reasons: tuple[str, ...]
+
+    def describe(self) -> str:
+        """One human-readable paragraph."""
+        reasons = "; ".join(self.reasons)
+        return f"use {self.technique.value}: {reasons}"
+
+
+@dataclass(frozen=True)
+class PlatformContext:
+    """Runtime facts the advisor weighs.
+
+    Attributes:
+        expected_rps: traffic the experimented service will see.
+        instance_capacity_rps: nominal capacity of one instance.
+        active_toggles_on_service: toggles already guarding the service
+            (the debt ceiling practitioners enforce, Section 2.5.1).
+        max_toggles_per_service: the organization's toggle budget.
+        isolated_deployment_available: whether separate instances can be
+            provisioned for experimental versions.
+    """
+
+    expected_rps: float
+    instance_capacity_rps: float
+    active_toggles_on_service: int = 0
+    max_toggles_per_service: int = 10
+    isolated_deployment_available: bool = True
+
+    def __post_init__(self) -> None:
+        if self.expected_rps < 0 or self.instance_capacity_rps <= 0:
+            raise ConfigurationError(
+                "expected_rps must be >= 0 and instance_capacity_rps > 0"
+            )
+
+
+def advise_technique(
+    experiment: Experiment, context: PlatformContext
+) -> TechniqueAdvice:
+    """Recommend how to implement *experiment* under *context*.
+
+    Routing is forced when the practice requires traffic manipulation at
+    the network level (dark launches duplicate requests; gradual
+    rollouts replace whole deployments), when a single instance cannot
+    carry both variants' load, or when the service's toggle budget is
+    exhausted.  Otherwise the cheaper in-process toggle wins.
+    """
+    reasons: list[str] = []
+
+    if experiment.practice is ExperimentPractice.DARK_LAUNCH:
+        reasons.append(
+            "dark launches duplicate live traffic, which only a "
+            "network-level mechanism can do"
+        )
+        return TechniqueAdvice(Technique.TRAFFIC_ROUTING, tuple(reasons))
+
+    # Load headroom: both variants on one instance means the instance
+    # carries the full traffic plus experimental overhead.
+    projected_load = context.expected_rps / context.instance_capacity_rps
+    if projected_load > 0.8:
+        reasons.append(
+            f"projected instance load {projected_load:.0%} leaves no room "
+            "to co-host variants; route to separate deployments"
+        )
+        if context.isolated_deployment_available:
+            return TechniqueAdvice(Technique.TRAFFIC_ROUTING, tuple(reasons))
+        reasons.append(
+            "no isolated deployment available — falling back to a toggle "
+            "despite the load risk"
+        )
+        return TechniqueAdvice(Technique.FEATURE_TOGGLE, tuple(reasons))
+
+    if context.active_toggles_on_service >= context.max_toggles_per_service:
+        reasons.append(
+            f"service already carries {context.active_toggles_on_service} "
+            "active toggles (budget "
+            f"{context.max_toggles_per_service}); more would compound "
+            "technical debt"
+        )
+        if context.isolated_deployment_available:
+            return TechniqueAdvice(Technique.TRAFFIC_ROUTING, tuple(reasons))
+
+    if experiment.practice is ExperimentPractice.GRADUAL_ROLLOUT:
+        reasons.append(
+            "gradual rollouts replace deployments stepwise; routing keeps "
+            "the experiment out of the source code"
+        )
+        return TechniqueAdvice(Technique.TRAFFIC_ROUTING, tuple(reasons))
+
+    reasons.append(
+        "low load and available toggle budget: an in-process toggle avoids "
+        "the proxy hop entirely"
+    )
+    return TechniqueAdvice(Technique.FEATURE_TOGGLE, tuple(reasons))

@@ -1,0 +1,103 @@
+"""The experiment model shared by all life-cycle phases.
+
+Chapter 2 classifies experimentation practice into *regression-driven*
+experiments (quality assurance: canaries, dark launches, gradual
+rollouts) and *business-driven* experiments (feature evaluation: A/B
+tests) — Table 2.5 contrasts them on goals, metrics, duration, scoping,
+and data interpretation.  :class:`Experiment` carries the fields both
+Fenrir (planning) and Bifrost (execution) consume.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.fenrir.model import ExperimentSpec
+
+
+class ExperimentClass(enum.Enum):
+    """The two flavors of continuous experimentation (Section 2.6)."""
+
+    REGRESSION_DRIVEN = "regression_driven"
+    BUSINESS_DRIVEN = "business_driven"
+
+
+class ExperimentPractice(enum.Enum):
+    """Concrete experimentation practices (Section 2.2.1)."""
+
+    CANARY_RELEASE = "canary_release"
+    DARK_LAUNCH = "dark_launch"
+    GRADUAL_ROLLOUT = "gradual_rollout"
+    AB_TEST = "ab_test"
+
+    @property
+    def experiment_class(self) -> ExperimentClass:
+        """Which flavor a practice typically serves (Table 2.5)."""
+        if self is ExperimentPractice.AB_TEST:
+            return ExperimentClass.BUSINESS_DRIVEN
+        return ExperimentClass.REGRESSION_DRIVEN
+
+
+#: Typical experiment durations per class (Table 2.5): regression-driven
+#: experiments run minutes to days, business-driven ones for weeks.
+TYPICAL_DURATION_HOURS: dict[ExperimentClass, tuple[float, float]] = {
+    ExperimentClass.REGRESSION_DRIVEN: (0.1, 14 * 24.0),
+    ExperimentClass.BUSINESS_DRIVEN: (7 * 24.0, 6 * 7 * 24.0),
+}
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """One continuous experiment across its life cycle.
+
+    Attributes:
+        name: unique identifier.
+        service: the service under experimentation.
+        practice: the primary experimentation practice applied.
+        hypothesis: what the experiment is meant to demonstrate.
+        required_samples: data points needed for a sound conclusion.
+        preferred_groups: user groups the experiment should target.
+        owner: the team or engineer responsible (decentralized teams run
+            their own experiments — Section 2.5.2).
+        metrics: the metrics evaluated during and after execution.
+    """
+
+    name: str
+    service: str
+    practice: ExperimentPractice
+    hypothesis: str = ""
+    required_samples: float = 1000.0
+    preferred_groups: frozenset[str] = frozenset()
+    owner: str = ""
+    metrics: tuple[str, ...] = ("response_time", "error")
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.service:
+            raise ConfigurationError("experiment needs a name and a service")
+        if self.required_samples <= 0:
+            raise ConfigurationError("required_samples must be positive")
+
+    @property
+    def experiment_class(self) -> ExperimentClass:
+        """Regression- or business-driven, derived from the practice."""
+        return self.practice.experiment_class
+
+    def to_scheduling_spec(
+        self,
+        min_duration_slots: int = 2,
+        max_duration_slots: int = 48,
+        max_traffic_fraction: float = 0.5,
+        earliest_start: int = 0,
+    ) -> ExperimentSpec:
+        """Derive the Fenrir scheduling input for this experiment."""
+        return ExperimentSpec(
+            name=self.name,
+            required_samples=self.required_samples,
+            min_duration_slots=min_duration_slots,
+            max_duration_slots=max_duration_slots,
+            max_traffic_fraction=max_traffic_fraction,
+            preferred_groups=self.preferred_groups,
+            earliest_start=earliest_start,
+        )

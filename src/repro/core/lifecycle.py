@@ -1,0 +1,79 @@
+"""The experiment life cycle: planning → execution → analysis.
+
+The dissertation structures its contributions along these phases
+(Fig 1.2).  :class:`ExperimentLifecycle` is a small state tracker that
+enforces the phase ordering and records phase artifacts, so tooling (and
+tests) can assert an experiment never skips a phase.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import ValidationError
+
+
+class LifecyclePhase(enum.Enum):
+    """Phases of the experiment life cycle."""
+
+    DESIGNED = "designed"
+    PLANNED = "planned"
+    EXECUTING = "executing"
+    ANALYZED = "analyzed"
+    CONCLUDED = "concluded"
+
+
+_ORDER = [
+    LifecyclePhase.DESIGNED,
+    LifecyclePhase.PLANNED,
+    LifecyclePhase.EXECUTING,
+    LifecyclePhase.ANALYZED,
+    LifecyclePhase.CONCLUDED,
+]
+
+
+@dataclass
+class ExperimentLifecycle:
+    """Tracks one experiment's progression through the life cycle."""
+
+    experiment_name: str
+    phase: LifecyclePhase = LifecyclePhase.DESIGNED
+    artifacts: dict[str, object] = field(default_factory=dict)
+    history: list[LifecyclePhase] = field(
+        default_factory=lambda: [LifecyclePhase.DESIGNED]
+    )
+
+    def advance(self, to: LifecyclePhase, artifact: object | None = None) -> None:
+        """Move to the next phase; skipping or regressing is rejected.
+
+        An optional *artifact* (a schedule, a strategy execution, an
+        analysis report) is stored under the target phase's name.
+        """
+        current_index = _ORDER.index(self.phase)
+        target_index = _ORDER.index(to)
+        if target_index != current_index + 1:
+            raise ValidationError(
+                f"experiment {self.experiment_name!r} cannot move from "
+                f"{self.phase.value} to {to.value}"
+            )
+        self.phase = to
+        self.history.append(to)
+        if artifact is not None:
+            self.artifacts[to.value] = artifact
+
+    def cancel(self) -> None:
+        """Abort the experiment: jump straight to CONCLUDED.
+
+        Cancellation is a first-class event — experiments "get canceled
+        frequently" (Section 1.2.2) and Fenrir's reevaluation exists
+        precisely to reclaim their traffic.
+        """
+        self.phase = LifecyclePhase.CONCLUDED
+        self.history.append(LifecyclePhase.CONCLUDED)
+        self.artifacts["canceled"] = True
+
+    @property
+    def canceled(self) -> bool:
+        """Whether the experiment was canceled rather than concluded."""
+        return bool(self.artifacts.get("canceled", False))

@@ -1,0 +1,52 @@
+"""Exception hierarchy shared across the repro library.
+
+Every subsystem raises exceptions derived from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still being able to discriminate finer-grained error conditions.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """An object was configured with invalid or inconsistent parameters."""
+
+
+class ValidationError(ReproError):
+    """A model-level invariant was violated (e.g. an invalid schedule)."""
+
+
+class SchedulingError(ReproError):
+    """Fenrir failed to produce or repair a schedule."""
+
+
+class InfeasibleScheduleError(SchedulingError):
+    """No valid schedule exists for the given experiments and traffic."""
+
+
+class DSLError(ReproError):
+    """The Bifrost experiment DSL could not be parsed or compiled."""
+
+
+class ExecutionError(ReproError):
+    """The Bifrost engine encountered an unrecoverable runtime condition."""
+
+
+class RoutingError(ReproError):
+    """A routing rule or proxy operation was invalid."""
+
+
+class TopologyError(ReproError):
+    """An interaction graph or topological diff operation failed."""
+
+
+class SimulationError(ReproError):
+    """The simulation kernel was driven into an invalid state."""
+
+
+class StatisticsError(ReproError):
+    """A statistical routine received invalid input (e.g. empty samples)."""

@@ -1,0 +1,72 @@
+"""Simulated annealing baseline (Section 3.5.4).
+
+Same single-gene neighborhood as local search, but worse moves are
+accepted with probability ``exp(delta / T)`` under an exponentially
+cooling temperature, allowing escapes from local optima early on.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.fenrir.base import BudgetedEvaluator, SearchAlgorithm, SearchResult
+from repro.fenrir.fitness import FitnessWeights
+from repro.fenrir.local_search import _warm_start
+from repro.fenrir.model import SchedulingProblem
+from repro.fenrir.operators import mutate_gene, pack_repair
+from repro.fenrir.schedule import Schedule
+from repro.simulation.rng import SeededRng
+
+
+class SimulatedAnnealing(SearchAlgorithm):
+    """Metropolis acceptance over single-gene mutations."""
+
+    name = "annealing"
+
+    def __init__(
+        self,
+        initial_temperature: float = 0.15,
+        final_temperature: float = 0.001,
+        repair_rate: float = 0.2,
+        warm_start: int = 25,
+    ) -> None:
+        self.initial_temperature = initial_temperature
+        self.final_temperature = final_temperature
+        self.repair_rate = repair_rate
+        self.warm_start = warm_start
+
+    def optimize(
+        self,
+        problem: SchedulingProblem,
+        budget: int = 2000,
+        seed: int = 0,
+        weights: FitnessWeights | None = None,
+        initial: Schedule | None = None,
+        locked: frozenset[int] = frozenset(),
+    ) -> SearchResult:
+        rng = SeededRng(seed)
+        evaluator = BudgetedEvaluator(budget, weights)
+        current, current_score = _warm_start(
+            problem, evaluator, rng, initial, locked,
+            draws=min(self.warm_start, max(1, budget // 10)),
+        )
+        cooling = (
+            (self.final_temperature / self.initial_temperature)
+            ** (1.0 / max(1, budget))
+        )
+        temperature = self.initial_temperature
+        free = [i for i in range(len(current.genes)) if i not in locked]
+        while not evaluator.exhausted and free:
+            index = rng.choice(free)
+            spec = problem.experiments[index]
+            neighbor = current.replaced(
+                index, mutate_gene(problem, spec, current.genes[index], rng)
+            )
+            if rng.random() < self.repair_rate:
+                neighbor = pack_repair(neighbor, rng, locked)
+            score = evaluator.evaluate(neighbor).penalized
+            delta = score - current_score
+            if delta >= 0 or rng.random() < math.exp(delta / max(temperature, 1e-9)):
+                current, current_score = neighbor, score
+            temperature *= cooling
+        return evaluator.result(self.name)

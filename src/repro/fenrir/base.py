@@ -1,0 +1,122 @@
+"""Shared infrastructure of the four search algorithms.
+
+All algorithms consume the same *fitness-evaluation budget* so their
+comparison (Figs 3.4–3.6, Tables 3.2–3.3) is apples-to-apples, and report
+both their final best schedule and the wall-clock moment they last
+improved ("time to best") — the paper's execution-time comparison hinges
+on how quickly an algorithm reaches its final quality.
+"""
+
+from __future__ import annotations
+
+import abc
+import time
+from dataclasses import dataclass, field
+
+from repro.fenrir.fitness import FitnessWeights, ScheduleEvaluation, evaluate
+from repro.fenrir.model import SchedulingProblem
+from repro.fenrir.schedule import Schedule
+
+
+@dataclass
+class SearchResult:
+    """Outcome of one optimization run."""
+
+    algorithm: str
+    best_schedule: Schedule
+    best_evaluation: ScheduleEvaluation
+    evaluations_used: int
+    wall_time_s: float
+    time_to_best_s: float
+    history: list[tuple[int, float]] = field(default_factory=list)
+
+    @property
+    def fitness(self) -> float:
+        """Strict fitness of the best schedule (0.0 when invalid)."""
+        return self.best_evaluation.fitness
+
+
+class BudgetedEvaluator:
+    """Counts fitness evaluations and tracks the incumbent best.
+
+    The incumbent ordering prefers *valid* schedules by strict fitness and
+    falls back to the penalized score among invalid ones, so a search that
+    never finds a feasible schedule still returns its least-bad attempt.
+    """
+
+    def __init__(self, budget: int, weights: FitnessWeights | None = None) -> None:
+        self.budget = budget
+        self.weights = weights or FitnessWeights()
+        self.used = 0
+        self.best_schedule: Schedule | None = None
+        self.best_evaluation: ScheduleEvaluation | None = None
+        self.history: list[tuple[int, float]] = []
+        self._start = time.perf_counter()
+        self.time_to_best_s = 0.0
+
+    @property
+    def exhausted(self) -> bool:
+        """Whether the evaluation budget is spent."""
+        return self.used >= self.budget
+
+    def _better(self, e: ScheduleEvaluation) -> bool:
+        incumbent = self.best_evaluation
+        if incumbent is None:
+            return True
+        if e.valid != incumbent.valid:
+            return e.valid
+        if e.valid:
+            return e.fitness > incumbent.fitness
+        return e.penalized > incumbent.penalized
+
+    def evaluate(self, schedule: Schedule) -> ScheduleEvaluation:
+        """Evaluate one schedule, updating budget and incumbent."""
+        self.used += 1
+        evaluation = evaluate(schedule, self.weights)
+        if self._better(evaluation):
+            self.best_schedule = schedule.copy()
+            self.best_evaluation = evaluation
+            self.history.append((self.used, evaluation.fitness))
+            self.time_to_best_s = time.perf_counter() - self._start
+        return evaluation
+
+    def result(self, algorithm: str) -> SearchResult:
+        """Finalize into a :class:`SearchResult`."""
+        assert self.best_schedule is not None and self.best_evaluation is not None
+        return SearchResult(
+            algorithm=algorithm,
+            best_schedule=self.best_schedule,
+            best_evaluation=self.best_evaluation,
+            evaluations_used=self.used,
+            wall_time_s=time.perf_counter() - self._start,
+            time_to_best_s=self.time_to_best_s,
+            history=list(self.history),
+        )
+
+
+class SearchAlgorithm(abc.ABC):
+    """Interface every scheduler implements."""
+
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def optimize(
+        self,
+        problem: SchedulingProblem,
+        budget: int = 2000,
+        seed: int = 0,
+        weights: FitnessWeights | None = None,
+        initial: Schedule | None = None,
+        locked: frozenset[int] = frozenset(),
+    ) -> SearchResult:
+        """Search for a high-fitness schedule.
+
+        Args:
+            problem: the scheduling instance.
+            budget: number of fitness evaluations the algorithm may spend.
+            seed: RNG seed.
+            weights: fitness objective weights.
+            initial: an existing schedule to improve (reevaluation mode).
+            locked: indices of genes that must not change (already-running
+                experiments during reevaluation).
+        """

@@ -1,0 +1,129 @@
+"""The genetic algorithm — Fenrir's core solver (Section 3.5.1).
+
+Operates on the value-encoded chromosome (Fig 3.1): tournament selection
+on the penalized score, one-point crossover at experiment boundaries
+(Fig 3.2), per-gene mutation, a greedy overlap repair applied to a share
+of the offspring, and elitism.
+"""
+
+from __future__ import annotations
+
+from repro.fenrir.base import BudgetedEvaluator, SearchAlgorithm, SearchResult
+from repro.fenrir.fitness import FitnessWeights, ScheduleEvaluation
+from repro.fenrir.model import SchedulingProblem
+from repro.fenrir.operators import crossover, mutate_gene, pack_repair, random_schedule
+from repro.fenrir.schedule import Schedule
+from repro.simulation.rng import SeededRng
+
+
+class GeneticAlgorithm(SearchAlgorithm):
+    """Population-based search over schedules."""
+
+    name = "genetic"
+
+    def __init__(
+        self,
+        population_size: int = 36,
+        elite: int = 2,
+        crossover_rate: float = 0.9,
+        repair_rate: float = 0.35,
+        tournament_size: int = 2,
+    ) -> None:
+        self.population_size = population_size
+        self.elite = elite
+        self.crossover_rate = crossover_rate
+        self.repair_rate = repair_rate
+        self.tournament_size = tournament_size
+
+    def optimize(
+        self,
+        problem: SchedulingProblem,
+        budget: int = 2000,
+        seed: int = 0,
+        weights: FitnessWeights | None = None,
+        initial: Schedule | None = None,
+        locked: frozenset[int] = frozenset(),
+    ) -> SearchResult:
+        rng = SeededRng(seed)
+        evaluator = BudgetedEvaluator(budget, weights)
+        n_genes = len(problem.experiments)
+        mutation_rate = min(0.5, 2.0 / max(1, n_genes))
+
+        population: list[Schedule] = []
+        for i in range(self.population_size):
+            if initial is not None and i < max(1, self.population_size // 4):
+                candidate = initial.copy()
+                if i > 0:
+                    candidate = self._mutated(problem, candidate, rng, 1.5 * mutation_rate, locked)
+            else:
+                candidate = random_schedule(
+                    problem, rng, packed=True, initial=initial, locked=locked
+                )
+            population.append(candidate)
+        scores: list[ScheduleEvaluation] = [
+            evaluator.evaluate(s) for s in population
+        ]
+
+        while not evaluator.exhausted:
+            ranked = sorted(
+                range(len(population)),
+                key=lambda i: scores[i].penalized,
+                reverse=True,
+            )
+            next_population: list[Schedule] = [
+                population[i] for i in ranked[: self.elite]
+            ]
+            while len(next_population) < self.population_size:
+                parent_a = self._tournament(population, scores, rng)
+                parent_b = self._tournament(population, scores, rng)
+                if rng.random() < self.crossover_rate:
+                    child_a, child_b = crossover(parent_a, parent_b, rng)
+                else:
+                    child_a, child_b = parent_a.copy(), parent_b.copy()
+                for child in (child_a, child_b):
+                    mutated = self._mutated(problem, child, rng, mutation_rate, locked)
+                    if rng.random() < self.repair_rate:
+                        mutated = pack_repair(mutated, rng, locked)
+                    next_population.append(mutated)
+                    if len(next_population) >= self.population_size:
+                        break
+            population = next_population
+            scores = []
+            for schedule in population:
+                if evaluator.exhausted:
+                    # Pad with worst score so ranking stays well-defined.
+                    scores.append(
+                        ScheduleEvaluation(0.0, False, float("-inf"))
+                    )
+                else:
+                    scores.append(evaluator.evaluate(schedule))
+        return evaluator.result(self.name)
+
+    def _tournament(
+        self,
+        population: list[Schedule],
+        scores: list[ScheduleEvaluation],
+        rng: SeededRng,
+    ) -> Schedule:
+        best_index = rng.randint(0, len(population) - 1)
+        for _ in range(self.tournament_size - 1):
+            challenger = rng.randint(0, len(population) - 1)
+            if scores[challenger].penalized > scores[best_index].penalized:
+                best_index = challenger
+        return population[best_index]
+
+    def _mutated(
+        self,
+        problem: SchedulingProblem,
+        schedule: Schedule,
+        rng: SeededRng,
+        rate: float,
+        locked: frozenset[int],
+    ) -> Schedule:
+        genes = list(schedule.genes)
+        for index, spec in enumerate(problem.experiments):
+            if index in locked:
+                continue
+            if rng.random() < rate:
+                genes[index] = mutate_gene(problem, spec, genes[index], rng)
+        return Schedule(problem, genes)

@@ -1,0 +1,304 @@
+"""Search operators: gene construction, repair, mutation, crossover.
+
+These are shared by all four algorithms.  The genetic algorithm uses all
+of them; local search and simulated annealing use random construction and
+mutation as their neighborhood move; random sampling uses construction
+only.
+"""
+
+from __future__ import annotations
+
+from repro.fenrir.model import ExperimentSpec, SchedulingProblem
+from repro.fenrir.schedule import Gene, Schedule
+from repro.simulation.rng import SeededRng
+
+
+def required_fraction(
+    problem: SchedulingProblem,
+    spec: ExperimentSpec,
+    start: int,
+    duration: int,
+    groups: frozenset[str],
+) -> float:
+    """Minimal traffic fraction collecting the required sample size.
+
+    Returns ``inf`` when the window carries no traffic at all.
+    """
+    volume = problem.window_volume(start, start + duration, groups)
+    if volume <= 0:
+        return float("inf")
+    return spec.required_samples / volume
+
+
+def random_groups(
+    problem: SchedulingProblem, spec: ExperimentSpec, rng: SeededRng
+) -> frozenset[str]:
+    """Pick user groups for a gene.
+
+    Preferred groups are used when specified, but occasionally widened
+    with extra groups: coverage is a *soft* objective, and trading a bit
+    of coverage for feasibility is exactly the compromise dense instances
+    require.
+    """
+    names = problem.profile.group_names
+    if spec.preferred_groups:
+        groups = set(spec.preferred_groups)
+        if rng.random() < 0.35:
+            extra = rng.randint(1, max(1, len(names) - len(groups)))
+            groups.update(rng.sample(names, min(extra, len(names))))
+        return frozenset(groups)
+    k = rng.randint(1, len(names))
+    return frozenset(rng.sample(names, k))
+
+
+def random_gene(
+    problem: SchedulingProblem, spec: ExperimentSpec, rng: SeededRng
+) -> Gene:
+    """Construct a random, sample-feasible gene when one exists.
+
+    Tries random (start, duration) windows and picks the smallest
+    sufficient fraction with a little headroom; falls back to the most
+    generous plan (earliest start, maximal duration and fraction) when no
+    sampled window is feasible — the evaluation's penalty then guides the
+    search away from it.
+    """
+    horizon = problem.horizon
+    groups = random_groups(problem, spec, rng)
+    latest_start = max(spec.earliest_start, horizon - spec.min_duration_slots)
+    for _ in range(30):
+        start = rng.randint(spec.earliest_start, latest_start)
+        max_duration = min(spec.max_duration_slots, horizon - start)
+        if max_duration < spec.min_duration_slots:
+            continue
+        duration = rng.randint(spec.min_duration_slots, max_duration)
+        needed = required_fraction(problem, spec, start, duration, groups)
+        if needed <= spec.max_traffic_fraction:
+            fraction = min(
+                spec.max_traffic_fraction,
+                max(spec.min_traffic_fraction, needed * rng.uniform(1.02, 1.3)),
+            )
+            if fraction >= needed:
+                return Gene(start, duration, fraction, groups)
+    # Fallback: the most generous plan within bounds, then repaired —
+    # repair may widen the group set when even that cannot collect the
+    # required samples.
+    start = spec.earliest_start
+    duration = min(spec.max_duration_slots, horizon - start)
+    duration = max(duration, spec.min_duration_slots)
+    draft = Gene(start, duration, spec.max_traffic_fraction, groups)
+    return repair_gene(problem, spec, draft)
+
+
+def repair_gene(
+    problem: SchedulingProblem, spec: ExperimentSpec, gene: Gene
+) -> Gene:
+    """Clamp a gene into its bounds and restore sample feasibility.
+
+    First clamps start/duration/fraction, then — if the sample-size
+    constraint is missed — raises the fraction up to its maximum and
+    finally stretches the duration while room remains.
+    """
+    horizon = problem.horizon
+    start = min(max(gene.start, spec.earliest_start), horizon - 1)
+    max_duration = min(spec.max_duration_slots, horizon - start)
+    if max_duration < spec.min_duration_slots:
+        start = max(spec.earliest_start, horizon - spec.min_duration_slots)
+        max_duration = min(spec.max_duration_slots, horizon - start)
+    duration = min(max(gene.duration, spec.min_duration_slots), max_duration)
+    fraction = min(
+        max(gene.fraction, spec.min_traffic_fraction), spec.max_traffic_fraction
+    )
+    groups = gene.groups
+    needed = required_fraction(problem, spec, start, duration, groups)
+    if fraction < needed:
+        fraction = min(spec.max_traffic_fraction, max(fraction, needed))
+    while (
+        fraction < required_fraction(problem, spec, start, duration, groups)
+        and duration < max_duration
+    ):
+        duration += 1
+    # Last resort: widen the group set (coverage is a soft objective;
+    # missing the sample size is a hard constraint).
+    if fraction < required_fraction(problem, spec, start, duration, groups):
+        remaining = sorted(
+            (g for g in problem.profile.group_names if g not in groups),
+            key=lambda g: problem.profile.group(g).share,
+            reverse=True,
+        )
+        widened = set(groups)
+        for group in remaining:
+            widened.add(group)
+            if fraction >= required_fraction(
+                problem, spec, start, duration, frozenset(widened)
+            ):
+                break
+        groups = frozenset(widened)
+    return Gene(start, duration, fraction, groups)
+
+
+def mutate_gene(
+    problem: SchedulingProblem, spec: ExperimentSpec, gene: Gene, rng: SeededRng
+) -> Gene:
+    """Perturb one field of a gene and repair the result."""
+    horizon = problem.horizon
+    move = rng.randint(0, 3)
+    start, duration, fraction, groups = (
+        gene.start,
+        gene.duration,
+        gene.fraction,
+        gene.groups,
+    )
+    if move == 0:
+        start = max(0, start + rng.randint(-6, 6))
+    elif move == 1:
+        duration = max(1, duration + rng.randint(-4, 4))
+    elif move == 2:
+        fraction = min(1.0, max(1e-6, fraction * rng.uniform(0.75, 1.3)))
+    else:
+        names = problem.profile.group_names
+        current = set(groups)
+        candidate = rng.choice(names)
+        removable = len(current) > 1 and (
+            candidate not in spec.preferred_groups or rng.random() < 0.2
+        )
+        if candidate in current and removable:
+            current.remove(candidate)
+        else:
+            current.add(candidate)
+        groups = frozenset(current)
+    start = min(start, horizon - 1)
+    draft = Gene(max(0, start), max(1, duration), min(1.0, fraction), groups)
+    return repair_gene(problem, spec, draft)
+
+
+def crossover(
+    a: Schedule, b: Schedule, rng: SeededRng
+) -> tuple[Schedule, Schedule]:
+    """One-point crossover at an experiment boundary (Fig 3.2)."""
+    n = len(a.genes)
+    if n < 2:
+        return a.copy(), b.copy()
+    point = rng.randint(1, n - 1)
+    child1 = Schedule(a.problem, a.genes[:point] + b.genes[point:])
+    child2 = Schedule(a.problem, b.genes[:point] + a.genes[point:])
+    return child1, child2
+
+
+def random_schedule(
+    problem: SchedulingProblem,
+    rng: SeededRng,
+    packed: bool = True,
+    initial: Schedule | None = None,
+    locked: frozenset[int] = frozenset(),
+) -> Schedule:
+    """A random schedule; with *packed* a greedy overlap repair is applied.
+
+    When *initial* and *locked* are given (reevaluation mode), locked
+    genes are copied verbatim from *initial* and only free genes are
+    randomized.
+    """
+    genes: list[Gene] = []
+    for index, spec in enumerate(problem.experiments):
+        if initial is not None and index in locked:
+            genes.append(initial.genes[index])
+        else:
+            genes.append(random_gene(problem, spec, rng))
+    schedule = Schedule(problem, genes)
+    return pack_repair(schedule, rng, locked) if packed else schedule
+
+
+def pack_repair(
+    schedule: Schedule, rng: SeededRng, locked: frozenset[int] = frozenset()
+) -> Schedule:
+    """Greedy overlap repair: fit genes one by one into remaining capacity.
+
+    Genes are visited in random order; a gene that would oversubscribe a
+    (slot, group) is first thinned to the remaining capacity (if it still
+    meets its sample size) and otherwise shifted to the earliest later
+    window with room.  Genes that fit nowhere are kept as-is; the
+    evaluation penalty handles them.
+    """
+    problem = schedule.problem
+    horizon = problem.horizon
+    group_names = problem.profile.group_names
+    n_groups = len(group_names)
+    group_index = {name: i for i, name in enumerate(group_names)}
+    free = [i for i in range(len(schedule.genes)) if i not in locked]
+    rng.shuffle(free)
+    # Locked genes claim their capacity first and are never moved.
+    order = [i for i in range(len(schedule.genes)) if i in locked] + free
+    # Flat usage array indexed [slot * n_groups + group] — the hot loop.
+    usage = [0.0] * (horizon * n_groups)
+    new_genes: list[Gene | None] = [None] * len(schedule.genes)
+
+    def scan(start: int, end: int, gidxs: list[int]) -> tuple[float, int | None]:
+        """(min remaining capacity, first partially-used slot) in window."""
+        left = 1.0
+        first_partial: int | None = None
+        for slot in range(start, min(end, horizon)):
+            base = slot * n_groups
+            for gi in gidxs:
+                available = 1.0 - usage[base + gi]
+                if available < left:
+                    left = available
+                if available < 1.0 - 1e-12 and first_partial is None:
+                    first_partial = slot
+        return left, first_partial
+
+    def commit(index: int, gene: Gene) -> None:
+        new_genes[index] = gene
+        gidxs = [group_index[g] for g in gene.groups]
+        for slot in range(gene.start, min(gene.end, horizon)):
+            base = slot * n_groups
+            for gi in gidxs:
+                usage[base + gi] += gene.fraction
+
+    def feasible_at(
+        spec: ExperimentSpec, gene: Gene, start: int, duration: int, left: float
+    ) -> Gene | None:
+        """A sample-feasible, capacity-respecting gene, or None."""
+        if left <= 0:
+            return None
+        needed = required_fraction(problem, spec, start, duration, gene.groups)
+        fraction = min(
+            max(gene.fraction, needed, spec.min_traffic_fraction),
+            spec.max_traffic_fraction,
+            left,
+        )
+        if fraction >= needed and fraction >= spec.min_traffic_fraction:
+            return Gene(start, duration, fraction, gene.groups)
+        return None
+
+    for index in order:
+        spec = problem.experiments[index]
+        gene = schedule.genes[index]
+        if index in locked:
+            commit(index, gene)
+            continue
+        gidxs = [group_index[g] for g in gene.groups]
+        placed = False
+        start = gene.start
+        while start + spec.min_duration_slots <= horizon:
+            duration = min(gene.duration, horizon - start)
+            left, partial = scan(start, start + duration, gidxs)
+            candidate = feasible_at(spec, gene, start, duration, left)
+            if candidate is None:
+                # A longer window needs a smaller fraction; retry at the
+                # maximal duration before giving up on this start.
+                max_dur = min(spec.max_duration_slots, horizon - start)
+                if max_dur > duration:
+                    ext_left, _ = scan(start + duration, start + max_dur, gidxs)
+                    candidate = feasible_at(
+                        spec, gene, start, max_dur, min(left, ext_left)
+                    )
+            if candidate is not None:
+                commit(index, candidate)
+                placed = True
+                break
+            start = (partial if partial is not None else start) + 1
+        if not placed:
+            # Nowhere to fit: keep the (repaired) original plan; the
+            # evaluation penalty steers the search away from it.
+            commit(index, repair_gene(problem, spec, gene))
+    assert all(g is not None for g in new_genes)
+    return Schedule(problem, [g for g in new_genes if g is not None])

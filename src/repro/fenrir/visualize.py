@@ -1,0 +1,74 @@
+"""Text rendering of experiment schedules.
+
+Release engineers need to *see* a schedule before approving it; this
+module renders schedules as a per-experiment Gantt strip over the slot
+horizon plus a per-slot utilization sparkline — the textual equivalent of
+Fig 3.3's consumption view.
+"""
+
+from __future__ import annotations
+
+from repro.fenrir.schedule import Schedule
+
+_BLOCKS = " ▁▂▃▄▅▆▇█"
+
+
+def schedule_gantt(schedule: Schedule, width: int = 72) -> str:
+    """Render *schedule* as an ASCII Gantt chart.
+
+    Each experiment occupies one row; ``█`` marks occupied slots (the
+    density of the glyph reflects the traffic fraction).  The horizon is
+    rescaled to at most *width* columns.
+    """
+    horizon = schedule.problem.horizon
+    scale = max(1, -(-horizon // width))  # slots per column, ceil
+    columns = -(-horizon // scale)
+    lines: list[str] = []
+    name_width = max(
+        (len(spec.name) for spec, _ in schedule), default=4
+    )
+    header = " " * (name_width + 2)
+    header += "".join(
+        str((c * scale) // 24 % 10) if (c * scale) % 24 == 0 else "·"
+        for c in range(columns)
+    )
+    lines.append(header + "   (digits: day boundaries)")
+    for spec, gene in schedule:
+        row = []
+        for column in range(columns):
+            slot_start = column * scale
+            slot_end = min(slot_start + scale, horizon)
+            covered = max(
+                0, min(gene.end, slot_end) - max(gene.start, slot_start)
+            )
+            if covered <= 0:
+                row.append(" ")
+            else:
+                # Glyph intensity ~ traffic fraction.
+                intensity = min(8, max(1, round(gene.fraction * 8)))
+                row.append(_BLOCKS[intensity])
+        lines.append(
+            f"{spec.name:<{name_width}}  " + "".join(row)
+            + f"   f={gene.fraction:.2f} {'+'.join(sorted(gene.groups))}"
+        )
+    return "\n".join(lines)
+
+
+def utilization_sparkline(schedule: Schedule, width: int = 72) -> str:
+    """Per-slot fraction of available traffic consumed, as a sparkline."""
+    problem = schedule.problem
+    horizon = problem.horizon
+    consumption = schedule.consumption_per_slot()
+    ratios = []
+    for slot in range(horizon):
+        available = problem.profile.volume(slot)
+        used = consumption.get(slot, 0.0)
+        ratios.append(used / available if available > 0 else 0.0)
+    scale = max(1, -(-horizon // width))
+    cells = []
+    for start in range(0, horizon, scale):
+        chunk = ratios[start:start + scale]
+        mean_ratio = sum(chunk) / len(chunk)
+        cells.append(_BLOCKS[min(8, round(mean_ratio * 8))])
+    peak = max(ratios) if ratios else 0.0
+    return "".join(cells) + f"   (peak {peak:.0%} of slot volume)"

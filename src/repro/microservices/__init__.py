@@ -1,0 +1,34 @@
+"""Simulated microservice applications.
+
+The dissertation evaluates Bifrost and the health-assessment heuristics on
+microservice-based case-study applications deployed to public-cloud VMs.
+This package is the offline substitute: services with independently
+deployable *versions*, endpoints with latency/error behaviour and
+downstream calls, and a :class:`Runtime` that executes end-user requests
+through the topology — emitting distributed traces and telemetry exactly
+like an instrumented production system would.
+"""
+
+from repro.microservices.service import (
+    DownstreamCall,
+    EndpointSpec,
+    Service,
+    ServiceVersion,
+)
+from repro.microservices.application import Application
+from repro.microservices.runtime import LoadTracker, RequestOutcome, Runtime
+from repro.microservices.faults import FaultInjector
+from repro.microservices.generator import random_application
+
+__all__ = [
+    "DownstreamCall",
+    "EndpointSpec",
+    "Service",
+    "ServiceVersion",
+    "Application",
+    "LoadTracker",
+    "RequestOutcome",
+    "Runtime",
+    "FaultInjector",
+    "random_application",
+]

@@ -1,0 +1,99 @@
+"""Fault injection: controlled degradations for evaluation scenarios.
+
+The Chapter 5 ranking evaluation distinguishes sub-scenarios "with and
+without introduced performance degradation"; the Bifrost evaluation needs
+versions that violate health criteria so rollbacks actually trigger.
+:class:`FaultInjector` rewrites endpoint specs of a deployed version:
+latency multipliers and added error rates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.microservices.application import Application
+from repro.microservices.service import EndpointSpec
+from repro.simulation.latency import LatencyModel
+from repro.simulation.rng import SeededRng
+
+
+class _ScaledLatency(LatencyModel):
+    """Multiplies a base latency model by a constant factor."""
+
+    def __init__(self, base: LatencyModel, factor: float) -> None:
+        self.base = base
+        self.factor = factor
+
+    def sample(self, rng: SeededRng, load: float = 1.0) -> float:
+        return self.base.sample(rng, load) * self.factor
+
+    def mean(self) -> float:
+        return self.base.mean() * self.factor
+
+
+@dataclass(frozen=True)
+class InjectedFault:
+    """Record of one applied fault (for reporting and reversal)."""
+
+    service: str
+    version: str
+    endpoint: str
+    latency_factor: float
+    added_error_rate: float
+
+
+class FaultInjector:
+    """Applies and tracks degradations on deployed service versions."""
+
+    def __init__(self, application: Application) -> None:
+        self.application = application
+        self._applied: list[tuple[InjectedFault, EndpointSpec]] = []
+
+    @property
+    def faults(self) -> list[InjectedFault]:
+        """All currently applied faults."""
+        return [fault for fault, _ in self._applied]
+
+    def degrade(
+        self,
+        service: str,
+        version: str,
+        endpoint: str,
+        latency_factor: float = 1.0,
+        added_error_rate: float = 0.0,
+    ) -> InjectedFault:
+        """Degrade one endpoint of one version in place.
+
+        *latency_factor* multiplies sampled latencies (>= 1 slows the
+        endpoint down); *added_error_rate* is added to the endpoint's
+        local failure probability (clamped to 1.0).
+        """
+        if latency_factor <= 0:
+            raise ConfigurationError("latency_factor must be positive")
+        if not 0.0 <= added_error_rate <= 1.0:
+            raise ConfigurationError("added_error_rate must be in [0, 1]")
+        service_version = self.application.resolve(service, version)
+        original = service_version.endpoint(endpoint)
+        degraded = EndpointSpec(
+            name=original.name,
+            latency=_ScaledLatency(original.latency, latency_factor),
+            error_rate=min(1.0, original.error_rate + added_error_rate),
+            calls=original.calls,
+        )
+        service_version.endpoints[endpoint] = degraded
+        fault = InjectedFault(
+            service, version, endpoint, latency_factor, added_error_rate
+        )
+        self._applied.append((fault, original))
+        return fault
+
+    def restore_all(self) -> int:
+        """Undo every applied fault; returns how many were reverted."""
+        count = 0
+        while self._applied:
+            fault, original = self._applied.pop()
+            service_version = self.application.resolve(fault.service, fault.version)
+            service_version.endpoints[fault.endpoint] = original
+            count += 1
+        return count

@@ -1,0 +1,95 @@
+"""Random application topologies.
+
+The Chapter 5 performance evaluation scales interaction graphs up to
+"1,000 microservices with 10 endpoints each"; this generator produces
+layered DAG applications of configurable depth/breadth so both the
+runtime-based tests and the heuristic scalability benches can synthesize
+realistic topologies.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.microservices.application import Application
+from repro.microservices.service import DownstreamCall, EndpointSpec, ServiceVersion
+from repro.simulation.latency import LoadSensitiveLatency, LogNormalLatency
+from repro.simulation.rng import SeededRng
+
+
+def random_application(
+    num_services: int = 10,
+    endpoints_per_service: int = 3,
+    layers: int = 3,
+    fanout: int = 2,
+    seed: int = 5,
+    version: str = "1.0.0",
+    base_latency_ms: float = 15.0,
+) -> Application:
+    """Generate a layered microservice application.
+
+    Services are arranged into *layers*; endpoints in layer *i* call up to
+    *fanout* endpoints in deeper layers only, so the topology is acyclic.
+    Layer 0 holds the single ``frontend`` service whose endpoints are the
+    request entry points.
+
+    Args:
+        num_services: total services including the frontend.
+        endpoints_per_service: endpoints per service.
+        layers: number of layers (>= 2 once there is more than one service).
+        fanout: maximum downstream calls per endpoint.
+        seed: RNG seed controlling wiring and latency medians.
+        version: version string every generated service starts at.
+        base_latency_ms: median own-latency scale.
+    """
+    if num_services < 1:
+        raise ConfigurationError("need at least one service")
+    if endpoints_per_service < 1:
+        raise ConfigurationError("need at least one endpoint per service")
+    if layers < 1:
+        raise ConfigurationError("need at least one layer")
+    if fanout < 0:
+        raise ConfigurationError("fanout must be >= 0")
+    rng = SeededRng(seed)
+    app = Application("generated")
+
+    # Assign services to layers: frontend alone in layer 0, the rest
+    # spread round-robin over the deeper layers.
+    layer_of: dict[str, int] = {"frontend": 0}
+    names = ["frontend"]
+    backend_layers = max(1, layers - 1)
+    for i in range(1, num_services):
+        name = f"svc{i:03d}"
+        names.append(name)
+        layer_of[name] = 1 + (i - 1) % backend_layers
+
+    def endpoints_of(name: str) -> list[str]:
+        return [f"ep{j}" for j in range(endpoints_per_service)]
+
+    for name in names:
+        layer = layer_of[name]
+        deeper = [n for n in names if layer_of[n] > layer]
+        specs: dict[str, EndpointSpec] = {}
+        for ep_name in endpoints_of(name):
+            calls: list[DownstreamCall] = []
+            if deeper and fanout > 0:
+                n_calls = rng.randint(0 if layer > 0 else 1, fanout)
+                for _ in range(n_calls):
+                    callee = rng.choice(deeper)
+                    callee_ep = rng.choice(endpoints_of(callee))
+                    target = DownstreamCall(callee, callee_ep, probability=1.0)
+                    if all(
+                        c.service != target.service or c.endpoint != target.endpoint
+                        for c in calls
+                    ):
+                        calls.append(target)
+            median = base_latency_ms * rng.uniform(0.5, 2.0)
+            specs[ep_name] = EndpointSpec(
+                name=ep_name,
+                latency=LoadSensitiveLatency(LogNormalLatency(median, 0.3)),
+                error_rate=0.0,
+                calls=calls,
+            )
+        app.deploy(
+            ServiceVersion(name, version, specs, capacity_rps=200.0), stable=True
+        )
+    return app

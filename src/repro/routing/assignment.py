@@ -1,0 +1,59 @@
+"""Sticky user-to-variant assignment.
+
+Assignment is derived from a salted hash of the user id, so it is
+deterministic (the same user always sees the same variant within one
+experiment), stateless (no synchronization point — cf. the "single points
+of failure" discussion in Section 1.5.2), and independent across
+experiments with different names.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Sequence
+
+from repro.errors import ConfigurationError
+from repro.routing.rules import Variant
+from repro.traffic.users import bucket_user
+
+_BUCKETS = 10_000
+
+
+class StickyAssigner:
+    """Maps users to variants by salted hash bucketing.
+
+    Also counts how many distinct assignments each variant received,
+    which experiment analysis uses to track collected sample sizes.
+    """
+
+    def __init__(self, salt: str) -> None:
+        if not salt:
+            raise ConfigurationError("assigner salt must be non-empty")
+        self.salt = salt
+        self._counts: Counter[str] = Counter()
+        self._seen: set[str] = set()
+
+    def assign(self, user_id: str, variants: Sequence[Variant]) -> str:
+        """Return the version of the variant *user_id* falls into."""
+        if not variants:
+            raise ConfigurationError("cannot assign across zero variants")
+        bucket = bucket_user(user_id, self.salt, _BUCKETS)
+        cumulative = 0.0
+        chosen = variants[-1].version
+        for variant in variants:
+            cumulative += variant.fraction
+            if bucket < cumulative * _BUCKETS:
+                chosen = variant.version
+                break
+        if user_id not in self._seen:
+            self._seen.add(user_id)
+            self._counts[chosen] += 1
+        return chosen
+
+    def distinct_users(self, version: str) -> int:
+        """How many distinct users have been assigned to *version*."""
+        return self._counts[version]
+
+    def total_distinct_users(self) -> int:
+        """Distinct users assigned across all variants."""
+        return len(self._seen)

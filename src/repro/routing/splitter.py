@@ -1,0 +1,66 @@
+"""Builders for the standard experiment traffic splits.
+
+One helper per experimentation practice from Section 2.2.1, returning the
+variant tuples an :class:`~repro.routing.rules.ExperimentRoute` consumes.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.routing.rules import Variant
+
+
+def canary_split(
+    stable_version: str, canary_version: str, canary_fraction: float
+) -> tuple[Variant, ...]:
+    """A canary release: a small fraction to the new version.
+
+    Fig 2.1's left panel — e.g. 5% to the canary, 95% stay on stable.
+    """
+    if not 0.0 < canary_fraction < 1.0:
+        raise ConfigurationError(
+            f"canary fraction must be in (0, 1), got {canary_fraction}"
+        )
+    return (
+        Variant(stable_version, 1.0 - canary_fraction),
+        Variant(canary_version, canary_fraction),
+    )
+
+
+def ab_split(
+    version_a: str, version_b: str, fraction_a: float = 0.5
+) -> tuple[Variant, ...]:
+    """An A/B test: the eligible audience is split between two variants."""
+    if not 0.0 < fraction_a < 1.0:
+        raise ConfigurationError(
+            f"fraction_a must be in (0, 1), got {fraction_a}"
+        )
+    return (Variant(version_a, fraction_a), Variant(version_b, 1.0 - fraction_a))
+
+
+def dark_launch_split(stable_version: str) -> tuple[Variant, ...]:
+    """A dark launch: everyone stays on stable; duplication is configured
+    through the route's ``shadow_versions``."""
+    return (Variant(stable_version, 1.0),)
+
+
+def rollout_split(
+    stable_version: str, new_version: str, rollout_fraction: float
+) -> tuple[Variant, ...]:
+    """One step of a gradual rollout: *rollout_fraction* on the new version.
+
+    At fraction 1.0 the split degenerates to the new version only (the
+    rollout completed); at 0.0 to stable only (rolled back).
+    """
+    if not 0.0 <= rollout_fraction <= 1.0:
+        raise ConfigurationError(
+            f"rollout fraction must be in [0, 1], got {rollout_fraction}"
+        )
+    if rollout_fraction == 0.0:
+        return (Variant(stable_version, 1.0),)
+    if rollout_fraction == 1.0:
+        return (Variant(new_version, 1.0),)
+    return (
+        Variant(stable_version, 1.0 - rollout_fraction),
+        Variant(new_version, rollout_fraction),
+    )

@@ -1,0 +1,167 @@
+"""A simulated single-threaded executor.
+
+The Bifrost evaluation (Sections 4.5.2) reports the engine's CPU
+utilization and the *delay* between when a check evaluation is due and
+when the engine actually runs it, as the number of parallel strategies or
+checks grows.  The prototype measured a Node.js event loop; we reproduce
+the same queueing behaviour with an explicit model: one worker, each task
+has a simulated processing cost, tasks queue FIFO when the worker is busy.
+
+Utilization and delay then fall out of elementary bookkeeping:
+
+- utilization over a window = busy time / window length,
+- delay of a task = start time - arrival (due) time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.errors import SimulationError
+from repro.stats.descriptive import SummaryStats, summarize
+
+
+@dataclass(frozen=True)
+class TaskRecord:
+    """Bookkeeping for one executed task."""
+
+    label: str
+    arrival: float
+    start: float
+    finish: float
+
+    @property
+    def delay(self) -> float:
+        """Queueing delay: how long the task waited past its due time."""
+        return self.start - self.arrival
+
+    @property
+    def cost(self) -> float:
+        """Processing cost of the task."""
+        return self.finish - self.start
+
+
+@dataclass(frozen=True)
+class ExecutorReport:
+    """Aggregate view over an executor run."""
+
+    tasks: int
+    busy_time: float
+    span: float
+    utilization: float
+    delay_stats: SummaryStats
+
+    def as_row(self) -> dict[str, float]:
+        """Flat dict for table printing in the benches."""
+        return {
+            "tasks": self.tasks,
+            "busy_time_s": self.busy_time,
+            "span_s": self.span,
+            "cpu_utilization": self.utilization,
+            "mean_delay_ms": self.delay_stats.mean * 1000.0,
+            "p95_delay_ms": self.delay_stats.p95 * 1000.0,
+            "max_delay_ms": self.delay_stats.maximum * 1000.0,
+        }
+
+
+class SimulatedExecutor:
+    """Single worker processing tasks in arrival order.
+
+    Tasks must be submitted in non-decreasing arrival order (the
+    simulation engine guarantees this).  ``submit`` returns the completed
+    :class:`TaskRecord` so callers can observe the induced delay.
+    """
+
+    def __init__(self) -> None:
+        self._available_at = 0.0
+        self._records: list[TaskRecord] = []
+        self._busy_time = 0.0
+        self._first_arrival: float | None = None
+        self._last_finish = 0.0
+
+    @property
+    def records(self) -> list[TaskRecord]:
+        """All completed task records (copy)."""
+        return list(self._records)
+
+    @property
+    def busy_time(self) -> float:
+        """Total simulated seconds the worker spent processing."""
+        return self._busy_time
+
+    def submit(self, arrival: float, cost: float, label: str = "") -> TaskRecord:
+        """Process a task arriving at *arrival* with processing *cost*."""
+        if cost < 0:
+            raise SimulationError(f"task cost must be >= 0, got {cost}")
+        if self._records and arrival < self._records[-1].arrival:
+            raise SimulationError(
+                "tasks must be submitted in non-decreasing arrival order "
+                f"({arrival} < {self._records[-1].arrival})"
+            )
+        start = max(arrival, self._available_at)
+        finish = start + cost
+        self._available_at = finish
+        record = TaskRecord(label, arrival, start, finish)
+        self._records.append(record)
+        self._busy_time += cost
+        if self._first_arrival is None:
+            self._first_arrival = arrival
+        self._last_finish = max(self._last_finish, finish)
+        return record
+
+    def backlog(self, now: float) -> float:
+        """Seconds of queued-but-unprocessed work at simulated time *now*."""
+        return max(0.0, self._available_at - now)
+
+    def utilization_series(self, bucket_width: float = 1.0) -> list[tuple[float, float]]:
+        """Per-bucket CPU utilization, for boxplots like Figs 4.7/4.9.
+
+        Buckets start at the first arrival; each value is the fraction of
+        the bucket the worker spent busy, clamped to [0, 1].
+        """
+        if bucket_width <= 0:
+            raise SimulationError("bucket_width must be positive")
+        if not self._records:
+            return []
+        origin = self._first_arrival or 0.0
+        n_buckets = int((self._last_finish - origin) // bucket_width) + 1
+        busy = [0.0] * n_buckets
+        for record in self._records:
+            t = record.start
+            while t < record.finish:
+                idx = int((t - origin) // bucket_width)
+                bucket_end = origin + (idx + 1) * bucket_width
+                chunk = min(record.finish, bucket_end) - t
+                if 0 <= idx < n_buckets:
+                    busy[idx] += chunk
+                t += chunk
+        return [
+            (origin + i * bucket_width, min(1.0, b / bucket_width))
+            for i, b in enumerate(busy)
+        ]
+
+    def report(self) -> ExecutorReport:
+        """Summarize the whole run."""
+        if not self._records:
+            raise SimulationError("executor has processed no tasks")
+        origin = self._first_arrival or 0.0
+        span = max(self._last_finish - origin, 1e-12)
+        delays = [record.delay for record in self._records]
+        return ExecutorReport(
+            tasks=len(self._records),
+            busy_time=self._busy_time,
+            span=span,
+            utilization=min(1.0, self._busy_time / span),
+            delay_stats=summarize(delays),
+        )
+
+
+def replay(
+    arrivals: Iterable[tuple[float, float, str]],
+) -> SimulatedExecutor:
+    """Build an executor and replay ``(arrival, cost, label)`` tuples."""
+    executor = SimulatedExecutor()
+    for arrival, cost, label in sorted(arrivals, key=lambda item: item[0]):
+        executor.submit(arrival, cost, label)
+    return executor

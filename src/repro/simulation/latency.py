@@ -1,0 +1,116 @@
+"""Latency models for simulated service handlers.
+
+Response times of web services are famously right-skewed; we default to a
+log-normal body plus optional load sensitivity.  Load sensitivity is the
+mechanism behind two effects the Bifrost evaluation observed (Section
+4.5.1): dark launches *duplicate* traffic and push latencies up in the
+backend, while A/B tests *split* traffic and produce a load-balancing
+effect that lowers per-instance latency.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from repro.errors import ConfigurationError
+from repro.simulation.rng import SeededRng
+
+
+class LatencyModel(abc.ABC):
+    """Produces a service time in **milliseconds** for one request."""
+
+    @abc.abstractmethod
+    def sample(self, rng: SeededRng, load: float = 1.0) -> float:
+        """Draw one latency.
+
+        Args:
+            rng: the random stream to draw from.
+            load: the instance's current relative load where 1.0 is the
+                nominal design load; models may ignore it.
+        """
+
+    def mean(self) -> float:
+        """Approximate mean latency at nominal load (for calibration)."""
+        rng = SeededRng(12345)
+        samples = [self.sample(rng) for _ in range(2000)]
+        return sum(samples) / len(samples)
+
+
+class ConstantLatency(LatencyModel):
+    """A fixed latency — useful for proxies and deterministic tests."""
+
+    def __init__(self, value_ms: float) -> None:
+        if value_ms < 0:
+            raise ConfigurationError(f"latency must be >= 0, got {value_ms}")
+        self.value_ms = float(value_ms)
+
+    def sample(self, rng: SeededRng, load: float = 1.0) -> float:
+        return self.value_ms
+
+    def mean(self) -> float:
+        return self.value_ms
+
+
+class LogNormalLatency(LatencyModel):
+    """Log-normal latency parameterized by its median and spread.
+
+    Args:
+        median_ms: the distribution's median in milliseconds.
+        sigma: the shape parameter of the underlying normal; 0.25–0.5 is
+            typical for well-behaved services.
+    """
+
+    def __init__(self, median_ms: float, sigma: float = 0.3) -> None:
+        if median_ms <= 0:
+            raise ConfigurationError(f"median must be positive, got {median_ms}")
+        if sigma < 0:
+            raise ConfigurationError(f"sigma must be >= 0, got {sigma}")
+        self.median_ms = float(median_ms)
+        self.sigma = float(sigma)
+        self._mu = math.log(self.median_ms)
+
+    def sample(self, rng: SeededRng, load: float = 1.0) -> float:
+        if self.sigma == 0:
+            return self.median_ms
+        return rng.lognormvariate(self._mu, self.sigma)
+
+    def mean(self) -> float:
+        return self.median_ms * math.exp(self.sigma**2 / 2.0)
+
+
+class LoadSensitiveLatency(LatencyModel):
+    """Wraps a base model and inflates latency as load exceeds nominal.
+
+    We use an M/M/1-flavoured inflation: at relative load ``u`` the base
+    sample is multiplied by ``1 + pressure * max(0, u - 1)``, a smooth,
+    bounded stand-in for queueing growth that keeps the simulation stable
+    even when overdriven.
+    """
+
+    def __init__(self, base: LatencyModel, pressure: float = 0.6) -> None:
+        if pressure < 0:
+            raise ConfigurationError(f"pressure must be >= 0, got {pressure}")
+        self.base = base
+        self.pressure = float(pressure)
+
+    def sample(self, rng: SeededRng, load: float = 1.0) -> float:
+        inflation = 1.0 + self.pressure * max(0.0, load - 1.0)
+        return self.base.sample(rng, load) * inflation
+
+    def mean(self) -> float:
+        return self.base.mean()
+
+
+class CompositeLatency(LatencyModel):
+    """Sum of several latency components (e.g. compute + serialization)."""
+
+    def __init__(self, *components: LatencyModel) -> None:
+        if not components:
+            raise ConfigurationError("CompositeLatency needs at least one component")
+        self.components = components
+
+    def sample(self, rng: SeededRng, load: float = 1.0) -> float:
+        return sum(component.sample(rng, load) for component in self.components)
+
+    def mean(self) -> float:
+        return sum(component.mean() for component in self.components)

@@ -1,0 +1,151 @@
+"""Business-driven experiment analysis (Table 2.5's right column).
+
+Business-driven experiments are "characterized through rigorous
+hypothesis testing on selected metrics": clearly defined hypotheses,
+a-priori sample sizes, and statistical verdicts instead of gut feeling.
+:class:`ABTestAnalysis` bundles that workflow: feed it the two variants'
+observations (conversions and/or a continuous metric), and it reports
+power-checked, tested verdicts.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.errors import StatisticsError
+from repro.stats.descriptive import mean
+from repro.stats.hypothesis import (
+    HypothesisTestResult,
+    proportions_z_test,
+    welch_t_test,
+)
+from repro.stats.power import PowerAnalysis, required_sample_size_proportion
+
+
+class Verdict(enum.Enum):
+    """Outcome of an A/B analysis."""
+
+    A_WINS = "a_wins"
+    B_WINS = "b_wins"
+    NO_DIFFERENCE = "no_difference"
+    UNDERPOWERED = "underpowered"
+
+
+@dataclass(frozen=True)
+class ABTestReport:
+    """Result of one metric's A/B comparison."""
+
+    metric: str
+    verdict: Verdict
+    test: HypothesisTestResult | None
+    samples_a: int
+    samples_b: int
+    required_per_group: int | None = None
+
+    def describe(self) -> str:
+        """One log line."""
+        p = f", p={self.test.p_value:.4f}" if self.test else ""
+        return (
+            f"{self.metric}: {self.verdict.value} "
+            f"(n_a={self.samples_a}, n_b={self.samples_b}{p})"
+        )
+
+
+@dataclass
+class ABTestAnalysis:
+    """Collects per-variant observations and issues verdicts.
+
+    Args:
+        alpha: significance level for all tests.
+        lower_is_better: for continuous metrics (e.g. response times),
+            whether smaller means win.
+    """
+
+    alpha: float = 0.05
+    lower_is_better: bool = True
+    _conversions: dict[str, list[bool]] = field(default_factory=dict)
+    _values: dict[str, dict[str, list[float]]] = field(default_factory=dict)
+
+    def record_conversion(self, variant: str, converted: bool) -> None:
+        """Record one visit's conversion outcome for *variant*."""
+        self._conversions.setdefault(variant, []).append(converted)
+
+    def record_value(self, variant: str, metric: str, value: float) -> None:
+        """Record one continuous observation for *variant*."""
+        self._values.setdefault(variant, {}).setdefault(metric, []).append(
+            float(value)
+        )
+
+    def _variant_pair(self, pool: dict) -> tuple[str, str]:
+        variants = sorted(pool)
+        if len(variants) != 2:
+            raise StatisticsError(
+                f"A/B analysis needs exactly two variants, got {variants}"
+            )
+        return variants[0], variants[1]
+
+    def conversion_report(
+        self,
+        minimum_detectable_effect: float = 0.01,
+        power: PowerAnalysis | None = None,
+    ) -> ABTestReport:
+        """Compare conversion rates with the two-proportion z-test.
+
+        The verdict is ``UNDERPOWERED`` when either group is smaller than
+        the sample size needed to detect *minimum_detectable_effect* at
+        the configured power — the Kohavi-style guard against declaring
+        winners from insufficient data.
+        """
+        a, b = self._variant_pair(self._conversions)
+        conv_a, conv_b = self._conversions[a], self._conversions[b]
+        successes_a, successes_b = sum(conv_a), sum(conv_b)
+        baseline = successes_a / len(conv_a) if conv_a else 0.0
+        required: int | None = None
+        if 0.0 < baseline < 1.0 - minimum_detectable_effect:
+            required = required_sample_size_proportion(
+                baseline, minimum_detectable_effect, power
+            )
+            if min(len(conv_a), len(conv_b)) < required:
+                return ABTestReport(
+                    "conversion",
+                    Verdict.UNDERPOWERED,
+                    None,
+                    len(conv_a),
+                    len(conv_b),
+                    required,
+                )
+        test = proportions_z_test(
+            successes_a, len(conv_a), successes_b, len(conv_b)
+        )
+        if not test.significant(self.alpha):
+            verdict = Verdict.NO_DIFFERENCE
+        elif test.effect > 0:
+            verdict = Verdict.A_WINS
+        else:
+            verdict = Verdict.B_WINS
+        return ABTestReport(
+            "conversion", verdict, test, len(conv_a), len(conv_b), required
+        )
+
+    def metric_report(self, metric: str) -> ABTestReport:
+        """Compare a continuous metric with Welch's t-test."""
+        pools = {
+            variant: values[metric]
+            for variant, values in self._values.items()
+            if metric in values
+        }
+        a, b = self._variant_pair(pools)
+        xs, ys = pools[a], pools[b]
+        if len(xs) < 2 or len(ys) < 2:
+            return ABTestReport(metric, Verdict.UNDERPOWERED, None, len(xs), len(ys))
+        test = welch_t_test(xs, ys)
+        if not test.significant(self.alpha):
+            verdict = Verdict.NO_DIFFERENCE
+        else:
+            a_better = mean(xs) < mean(ys) if self.lower_is_better else (
+                mean(xs) > mean(ys)
+            )
+            verdict = Verdict.A_WINS if a_better else Verdict.B_WINS
+        return ABTestReport(metric, verdict, test, len(xs), len(ys))

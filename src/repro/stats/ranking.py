@@ -1,0 +1,52 @@
+"""Ranking-quality metrics: DCG / nDCG.
+
+Chapter 5 evaluates the change-ranking heuristics with nDCG@5
+(normalized discounted cumulative gain; Järvelin & Kekäläinen 2002), a
+standard information-retrieval metric.  Relevance grades are non-negative
+numbers where larger means more relevant.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.errors import StatisticsError
+
+
+def dcg(relevances: Sequence[float], k: int | None = None) -> float:
+    """Discounted cumulative gain of a ranked list of *relevances*.
+
+    Uses the "standard" formulation ``sum(rel_i / log2(i + 1))`` with
+    1-based positions, i.e. the first item is undiscounted.  If *k* is
+    given, only the top-*k* positions contribute.
+    """
+    if k is not None and k <= 0:
+        raise StatisticsError(f"k must be positive, got {k}")
+    limit = len(relevances) if k is None else min(k, len(relevances))
+    total = 0.0
+    for i in range(limit):
+        rel = float(relevances[i])
+        if rel < 0:
+            raise StatisticsError(f"relevance grades must be >= 0, got {rel}")
+        total += rel / math.log2(i + 2)
+    return total
+
+
+def idcg(relevances: Sequence[float], k: int | None = None) -> float:
+    """Ideal DCG: the DCG of *relevances* sorted in decreasing order."""
+    return dcg(sorted((float(r) for r in relevances), reverse=True), k)
+
+
+def ndcg(relevances: Sequence[float], k: int | None = None) -> float:
+    """Normalized DCG in ``[0, 1]``.
+
+    *relevances* are the grades of the items **in the order the ranking
+    placed them**; the ideal ordering is derived internally.  A ranking of
+    all-zero relevances scores 1.0 by convention (there is nothing to get
+    wrong).
+    """
+    ideal = idcg(relevances, k)
+    if ideal == 0.0:
+        return 1.0
+    return dcg(relevances, k) / ideal

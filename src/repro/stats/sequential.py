@@ -1,0 +1,120 @@
+"""Sequential analysis for in-flight experiment health decisions.
+
+Bifrost evaluates health checks *while* an experiment runs; deciding to
+abort early after a handful of bad observations inflates false-positive
+rates if done naively.  Wald's sequential probability ratio test (SPRT)
+gives a principled continue/accept/reject rule with bounded error rates,
+and is the statistical backing for "conditional chaining" decisions that
+should not wait for a fixed horizon.
+
+We implement the Bernoulli SPRT (each observation is a success/failure,
+e.g. "request within SLO" vs "request violated SLO").
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+
+from repro.errors import StatisticsError
+
+
+class SprtDecision(enum.Enum):
+    """Tri-state outcome of a sequential test."""
+
+    CONTINUE = "continue"
+    ACCEPT_NULL = "accept_null"  # failure rate consistent with baseline
+    REJECT_NULL = "reject_null"  # failure rate consistent with degraded
+
+
+@dataclass
+class SequentialProbabilityRatioTest:
+    """Wald SPRT over Bernoulli observations.
+
+    Args:
+        p0: failure probability under the null ("healthy") hypothesis.
+        p1: failure probability under the alternative ("degraded")
+            hypothesis; must exceed *p0*.
+        alpha: bound on the false-alarm probability.
+        beta: bound on the missed-detection probability.
+
+    Feed observations with :meth:`observe`; the test keeps a running
+    log-likelihood ratio and reports a :class:`SprtDecision`.
+    """
+
+    p0: float
+    p1: float
+    alpha: float = 0.05
+    beta: float = 0.1
+    _llr: float = field(default=0.0, init=False, repr=False)
+    _observations: int = field(default=0, init=False, repr=False)
+    _decision: SprtDecision = field(default=SprtDecision.CONTINUE, init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.p0 < 1.0 or not 0.0 < self.p1 < 1.0:
+            raise StatisticsError("p0 and p1 must lie in (0, 1)")
+        if self.p1 <= self.p0:
+            raise StatisticsError("p1 (degraded) must exceed p0 (healthy)")
+        if not 0.0 < self.alpha < 1.0 or not 0.0 < self.beta < 1.0:
+            raise StatisticsError("alpha and beta must lie in (0, 1)")
+
+    @property
+    def upper_bound(self) -> float:
+        """Log-likelihood threshold above which the null is rejected."""
+        return math.log((1.0 - self.beta) / self.alpha)
+
+    @property
+    def lower_bound(self) -> float:
+        """Log-likelihood threshold below which the null is accepted."""
+        return math.log(self.beta / (1.0 - self.alpha))
+
+    @property
+    def observations(self) -> int:
+        """Number of observations consumed so far."""
+        return self._observations
+
+    @property
+    def log_likelihood_ratio(self) -> float:
+        """Current running log-likelihood ratio."""
+        return self._llr
+
+    @property
+    def decision(self) -> SprtDecision:
+        """The decision reached so far (``CONTINUE`` while undecided)."""
+        return self._decision
+
+    def observe(self, failure: bool) -> SprtDecision:
+        """Consume one Bernoulli observation and return the new decision.
+
+        Once a terminal decision is reached, further observations are
+        ignored and the terminal decision is returned unchanged.
+        """
+        if self._decision is not SprtDecision.CONTINUE:
+            return self._decision
+        self._observations += 1
+        if failure:
+            self._llr += math.log(self.p1 / self.p0)
+        else:
+            self._llr += math.log((1.0 - self.p1) / (1.0 - self.p0))
+        if self._llr >= self.upper_bound:
+            self._decision = SprtDecision.REJECT_NULL
+        elif self._llr <= self.lower_bound:
+            self._decision = SprtDecision.ACCEPT_NULL
+        return self._decision
+
+    def observe_batch(self, failures: int, total: int) -> SprtDecision:
+        """Consume *total* observations of which *failures* failed."""
+        if failures < 0 or total < failures:
+            raise StatisticsError("failures must lie in [0, total]")
+        for _ in range(failures):
+            self.observe(True)
+        for _ in range(total - failures):
+            self.observe(False)
+        return self._decision
+
+    def reset(self) -> None:
+        """Restart the test, discarding all accumulated evidence."""
+        self._llr = 0.0
+        self._observations = 0
+        self._decision = SprtDecision.CONTINUE

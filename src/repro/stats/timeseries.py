@@ -1,0 +1,106 @@
+"""A small time-series container shared by telemetry and the benches.
+
+Samples are ``(timestamp, value)`` pairs on the simulation clock.  The
+container supports windowed queries ("all response times in the last 30
+simulated seconds"), resampling into fixed-width buckets for plotting
+series like Fig 4.6, and summary statistics.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterable, Iterator
+
+from repro.errors import StatisticsError
+from repro.stats.descriptive import SummaryStats, summarize
+
+
+class TimeSeries:
+    """Append-mostly sequence of timestamped float samples.
+
+    Timestamps may arrive slightly out of order (parallel simulated
+    services); an insertion sort via :mod:`bisect` keeps the series
+    ordered so window queries stay O(log n + k).
+    """
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._times: list[float] = []
+        self._values: list[float] = []
+
+    def __len__(self) -> int:
+        return len(self._times)
+
+    def __iter__(self) -> Iterator[tuple[float, float]]:
+        return iter(zip(self._times, self._values))
+
+    def append(self, timestamp: float, value: float) -> None:
+        """Add a sample, keeping the series ordered by timestamp."""
+        timestamp = float(timestamp)
+        value = float(value)
+        if not self._times or timestamp >= self._times[-1]:
+            self._times.append(timestamp)
+            self._values.append(value)
+            return
+        idx = bisect.bisect_right(self._times, timestamp)
+        self._times.insert(idx, timestamp)
+        self._values.insert(idx, value)
+
+    def extend(self, samples: Iterable[tuple[float, float]]) -> None:
+        """Append many ``(timestamp, value)`` samples."""
+        for ts, value in samples:
+            self.append(ts, value)
+
+    @property
+    def timestamps(self) -> list[float]:
+        """All timestamps in ascending order (copy)."""
+        return list(self._times)
+
+    @property
+    def values(self) -> list[float]:
+        """All values, ordered by timestamp (copy)."""
+        return list(self._values)
+
+    def window(self, start: float, end: float) -> list[float]:
+        """Values with ``start <= timestamp < end``."""
+        if end < start:
+            raise StatisticsError(f"window end {end} precedes start {start}")
+        lo = bisect.bisect_left(self._times, start)
+        hi = bisect.bisect_left(self._times, end)
+        return self._values[lo:hi]
+
+    def last(self, duration: float, now: float) -> list[float]:
+        """Values within the trailing *duration* before *now*."""
+        return self.window(now - duration, now)
+
+    def resample(self, bucket_width: float) -> list[tuple[float, float]]:
+        """Average values into fixed-width buckets.
+
+        Returns ``(bucket_start, mean_value)`` pairs for every non-empty
+        bucket — the representation used to plot moving-average response
+        times (Fig 4.6).
+        """
+        if bucket_width <= 0:
+            raise StatisticsError("bucket_width must be positive")
+        if not self._times:
+            return []
+        out: list[tuple[float, float]] = []
+        origin = self._times[0]
+        bucket_idx = 0
+        acc = 0.0
+        count = 0
+        for ts, value in zip(self._times, self._values):
+            idx = int((ts - origin) // bucket_width)
+            if idx != bucket_idx and count:
+                out.append((origin + bucket_idx * bucket_width, acc / count))
+                acc, count = 0.0, 0
+            bucket_idx = idx
+            acc += value
+            count += 1
+        if count:
+            out.append((origin + bucket_idx * bucket_width, acc / count))
+        return out
+
+    def summary(self) -> SummaryStats:
+        """Summary statistics over all values."""
+        return summarize(self._values)

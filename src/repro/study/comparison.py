@@ -1,0 +1,80 @@
+"""Table 2.5: regression-driven vs business-driven experiments.
+
+The chapter's central qualitative artifact: a dimension-by-dimension
+comparison of the two experiment flavors.  Encoded as structured data so
+tooling (and tests) can keep the core model consistent with the study's
+findings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.experiment import ExperimentClass
+
+
+@dataclass(frozen=True)
+class ComparisonDimension:
+    """One row of Table 2.5."""
+
+    dimension: str
+    regression_driven: str
+    business_driven: str
+
+
+TABLE_2_5: tuple[ComparisonDimension, ...] = (
+    ComparisonDimension(
+        "main_goals",
+        "Mitigation of technical problems (bugs, performance regressions), "
+        "health checks, testing scalability on production workload",
+        "Evaluation of new features or implementation decisions from a "
+        "business perspective",
+    ),
+    ComparisonDimension(
+        "common_practices",
+        "Canary releases, dark launches, gradual rollouts",
+        "A/B testing",
+    ),
+    ComparisonDimension(
+        "used_metrics",
+        "Multiple application and infrastructure level metrics (e.g. "
+        "response time), sometimes simple business metrics",
+        "Primarily business metrics, sometimes combined with a small "
+        "selection of application metrics",
+    ),
+    ComparisonDimension(
+        "data_interpretation",
+        "Often intuitive and experience-based, less process driven",
+        "More statistically rigorous hypothesis testing on carefully "
+        "selected metrics",
+    ),
+    ComparisonDimension(
+        "experiment_duration",
+        "Minutes to multiple days",
+        "Often in the order of weeks",
+    ),
+    ComparisonDimension(
+        "target_users",
+        "Small scoped (small percentages, user groups, regions), sometimes "
+        "gradually increased until full rollout",
+        "Two or more groups of same, constant size during the experiment",
+    ),
+    ComparisonDimension(
+        "responsibility",
+        "Siloization: single team or developers",
+        "Multiple teams and services involved; requires coordination and "
+        "awareness across team borders",
+    ),
+)
+
+
+def comparison_for(experiment_class: ExperimentClass) -> dict[str, str]:
+    """Table 2.5's column for one experiment class, keyed by dimension."""
+    out: dict[str, str] = {}
+    for row in TABLE_2_5:
+        out[row.dimension] = (
+            row.regression_driven
+            if experiment_class is ExperimentClass.REGRESSION_DRIVEN
+            else row.business_driven
+        )
+    return out

@@ -1,0 +1,165 @@
+"""Published survey results of the Chapter 2 empirical study.
+
+Every table is transcribed from the dissertation.  Columns are the
+respondent subgroups the paper breaks results down by: ``all``, ``web``
+vs ``other`` application models, and ``startup`` / ``sme`` / ``corp``
+company sizes.  Values are percentages of the column's subgroup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+#: Column order used throughout the chapter's tables.
+COLUMNS = ("all", "web", "other", "startup", "sme", "corp")
+
+#: Fig 2.3 survey demographics: subgroup sizes of the 187 respondents.
+DEMOGRAPHICS = {
+    "total": 187,
+    "web": 105,
+    "other": 82,
+    "startup": 35,
+    "sme": 99,
+    "corp": 53,
+    "experience": {"0-2": 16, "3-5": 46, "6-10": 62, ">10": 62},
+}
+
+
+@dataclass(frozen=True)
+class SurveyTable:
+    """One published table: per-subgroup percentages per answer option.
+
+    Attributes:
+        table_id: the dissertation's table number, e.g. ``"2.2"``.
+        title: the table caption.
+        multiple_choice: whether respondents could pick several options.
+        sample_sizes: number of respondents per column subgroup.
+        rows: option -> tuple of percentages in :data:`COLUMNS` order.
+    """
+
+    table_id: str
+    title: str
+    multiple_choice: bool
+    sample_sizes: dict[str, int]
+    rows: dict[str, tuple[int, ...]]
+
+    def __post_init__(self) -> None:
+        for option, values in self.rows.items():
+            if len(values) != len(COLUMNS):
+                raise ConfigurationError(
+                    f"table {self.table_id} row {option!r} needs "
+                    f"{len(COLUMNS)} values"
+                )
+        missing = set(COLUMNS) - set(self.sample_sizes)
+        if missing:
+            raise ConfigurationError(
+                f"table {self.table_id} misses sample sizes for {missing}"
+            )
+
+    def percentage(self, option: str, column: str) -> int:
+        """Published percentage of *option* in *column*."""
+        return self.rows[option][COLUMNS.index(column)]
+
+
+PUBLISHED_TABLES: dict[str, SurveyTable] = {
+    "2.2": SurveyTable(
+        table_id="2.2",
+        title="Implementation techniques in use for continuous experimentation",
+        multiple_choice=True,
+        sample_sizes={"all": 70, "web": 38, "other": 32, "startup": 8, "sme": 43, "corp": 19},
+        rows={
+            "other": (6, 8, 3, 12, 5, 5),
+            "permissions": (17, 18, 16, 38, 16, 11),
+            "dont_know": (20, 13, 28, 12, 21, 21),
+            "binaries": (29, 13, 47, 12, 33, 26),
+            "traffic_routing": (30, 45, 12, 38, 23, 42),
+            "feature_toggles": (36, 45, 25, 50, 35, 32),
+        },
+    ),
+    "2.3": SurveyTable(
+        table_id="2.3",
+        title="How issues are usually detected",
+        multiple_choice=True,
+        sample_sizes={"all": 187, "web": 105, "other": 82, "startup": 35, "sme": 99, "corp": 53},
+        rows={
+            "dont_know_other": (4, 2, 6, 3, 5, 2),
+            "monitoring": (76, 83, 67, 89, 72, 75),
+            "customer_feedback": (85, 81, 90, 80, 88, 83),
+        },
+    ),
+    "2.4": SurveyTable(
+        table_id="2.4",
+        title="Phase in the release process after which developers hand off responsibility",
+        multiple_choice=False,
+        sample_sizes={"all": 187, "web": 105, "other": 82, "startup": 35, "sme": 99, "corp": 53},
+        rows={
+            "dont_know_other": (4, 2, 5, 3, 1, 8),
+            "preproduction": (9, 10, 9, 9, 8, 11),
+            "staging": (12, 15, 9, 11, 12, 13),
+            "development": (19, 12, 28, 3, 23, 23),
+            "never": (56, 61, 50, 74, 56, 45),
+        },
+    ),
+    "2.6": SurveyTable(
+        table_id="2.6",
+        title="Usage of regression-driven experimentation",
+        multiple_choice=False,
+        sample_sizes={"all": 187, "web": 105, "other": 82, "startup": 35, "sme": 99, "corp": 53},
+        rows={
+            "for_all_features": (18, 15, 22, 6, 22, 19),
+            "for_some_features": (19, 21, 17, 17, 21, 17),
+            "no_experimentation": (63, 64, 61, 77, 57, 64),
+        },
+    ),
+    "2.7": SurveyTable(
+        table_id="2.7",
+        title="Reasons against conducting regression-driven experiments",
+        multiple_choice=True,
+        sample_sizes={"all": 117, "web": 67, "other": 50, "startup": 27, "sme": 56, "corp": 34},
+        rows={
+            "other": (18, 1, 10, 7, 4, 6),
+            "lack_of_expertise": (26, 27, 24, 15, 34, 21),
+            "no_business_sense": (39, 39, 40, 41, 36, 44),
+            "number_customers": (39, 46, 30, 56, 38, 29),
+            "architecture": (57, 64, 48, 44, 66, 53),
+        },
+    ),
+    "2.8": SurveyTable(
+        table_id="2.8",
+        title="Reasons against conducting business-driven experiments",
+        multiple_choice=True,
+        sample_sizes={"all": 144, "web": 78, "other": 66, "startup": 25, "sme": 74, "corp": 45},
+        rows={
+            "other": (6, 4, 8, 4, 1, 13),
+            "dont_know": (6, 5, 6, 4, 7, 4),
+            "lack_of_knowledge": (15, 19, 11, 12, 15, 18),
+            "policy_domain": (21, 14, 29, 12, 22, 24),
+            "number_of_users": (28, 32, 23, 44, 27, 20),
+            "investments": (33, 35, 30, 44, 31, 29),
+            "architecture": (50, 53, 47, 40, 59, 40),
+        },
+    ),
+}
+
+#: Headline adoption numbers quoted in the chapter's prose.
+ADOPTION = {
+    "regression_driven": 37,   # % using canaries / dark launches / rollouts
+    "business_driven": 23,     # % using A/B testing
+    "feature_toggles": 36,     # % of experimenters using toggles
+    "traffic_routing": 30,     # % using runtime traffic routing
+    "ab_on_ui": 88,            # % of A/B users testing UI changes
+    "ab_on_backend": 44,       # % of A/B users testing backend features
+}
+
+
+def published_table(table_id: str) -> SurveyTable:
+    """Look up a published table by its dissertation number."""
+    try:
+        return PUBLISHED_TABLES[table_id]
+    except KeyError:
+        raise ConfigurationError(
+            f"no published table {table_id!r}; available: "
+            f"{sorted(PUBLISHED_TABLES)}"
+        ) from None

@@ -1,0 +1,142 @@
+"""The interview-study participants (Table 2.1).
+
+The dissertation publishes the full participant table for both interview
+rounds: 20 participants (P1–P20) in the exploratory round and 11 (D1–D11)
+in the deep-dive round, across 27 distinct companies.  This module
+transcribes the table verbatim and provides the aggregate queries whose
+results the chapter quotes (Fig 2.3's interview demographics, average
+experience per round).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class InterviewParticipant:
+    """One row of Table 2.1.
+
+    Attributes:
+        participant_id: P1–P20 (round 1) or D1–D11 (round 2).
+        company_type: "startup", "sme", or "corp".
+        country: ISO-ish country code from the table.
+        app_type: the application model the participant works on.
+        domain: the company's application domain.
+        role: the participant's role.
+        experience_total: total years of relevant experience.
+        experience_company: years in the current company.
+        team_size: (min, max) of the reported team size range.
+        company_key: identifier shared by participants of one company.
+    """
+
+    participant_id: str
+    company_type: str
+    country: str
+    app_type: str
+    domain: str
+    role: str
+    experience_total: int
+    experience_company: int
+    team_size: tuple[int, int]
+    company_key: str
+
+    @property
+    def interview_round(self) -> int:
+        """1 for P-participants, 2 for D-participants."""
+        return 1 if self.participant_id.startswith("P") else 2
+
+
+def _p(pid, ctype, country, app, domain, role, exp, exp_c, lo, hi, company=None):
+    return InterviewParticipant(
+        participant_id=pid,
+        company_type=ctype,
+        country=country,
+        app_type=app,
+        domain=domain,
+        role=role,
+        experience_total=exp,
+        experience_company=exp_c,
+        team_size=(lo, hi),
+        company_key=company or pid,
+    )
+
+
+#: Table 2.1, transcribed. Participants sharing a company share a
+#: company_key (P9/P10/P11; D4/D5; D6/D11 — as stated in Section 2.4).
+PARTICIPANTS: tuple[InterviewParticipant, ...] = (
+    _p("P1", "sme", "AT", "web", "Sports News & Streaming", "DevOps Engineer", 3, 3, 3, 6),
+    _p("P2", "sme", "AT", "enterprise", "Document Composition", "Software Engineer", 4, 4, 3, 5),
+    _p("P3", "sme", "CH", "web", "Employee Management", "Software Engineer", 10, 5, 1, 3),
+    _p("P4", "sme", "CH", "web", "Telecommunication", "Software Engineer", 15, 4, 3, 7),
+    _p("P5", "sme", "AT", "web", "Online Retail", "Software Architect", 5, 5, 15, 20),
+    _p("P6", "sme", "AT", "desktop", "SharePoint", "Software Engineer", 4, 4, 2, 7),
+    _p("P7", "corp", "UA", "web", "Employee Management", "Software Engineer", 5, 5, 4, 6),
+    _p("P8", "sme", "AT", "enterprise", "Insurance", "Software Engineer", 12, 12, 5, 8),
+    _p("P9", "sme", "CH", "enterprise", "E-Government", "Solution Architect", 13, 13, 4, 6, company="swiss-pay"),
+    _p("P10", "sme", "CH", "web", "Mobile Payment", "Solution Architect", 16, 6, 60, 70, company="swiss-pay"),
+    _p("P11", "sme", "CH", "web", "Mobile Payment", "Solution Architect", 11, 4, 15, 20, company="swiss-pay"),
+    _p("P12", "corp", "DE", "web", "Cloud Provider", "DevOps Engineer", 1, 1, 9, 11),
+    _p("P13", "startup", "AT", "web", "Online Code Quality Analysis", "DevOps Engineer", 16, 1, 1, 1),
+    _p("P14", "corp", "IE", "web", "Network Monitoring", "Public Cloud Architect", 10, 1, 6, 8),
+    _p("P15", "corp", "US", "web", "Cloud Provider", "Program Manager", 15, 3, 8, 10),
+    _p("P16", "sme", "AT", "enterprise", "E-Government", "Project Lead", 15, 9, 3, 7),
+    _p("P17", "startup", "US", "web", "Babysitter Platform", "Software Engineer", 4, 2, 6, 8),
+    _p("P18", "startup", "US", "web", "Event Management", "Director of Engineering", 5, 1, 5, 7),
+    _p("P19", "sme", "US", "web", "E-Commerce Platform", "Software Engineer", 5, 3, 3, 7),
+    _p("P20", "sme", "AT", "embedded", "Automotive Software", "Software Engineer", 3, 3, 3, 5),
+    _p("D1", "sme", "US", "web", "CMS Provider", "DevOps Engineer", 10, 1, 3, 5),
+    _p("D2", "sme", "DE", "web", "Q&A Platform", "Head of Development", 10, 3, 4, 7),
+    _p("D3", "startup", "CH", "web", "HR Software", "Head of Development", 10, 7, 4, 5),
+    _p("D4", "sme", "DE", "web", "Travel Reviews & Booking", "Software Engineer", 7, 2, 5, 7, company="travel-co"),
+    _p("D5", "sme", "DE", "web", "Travel Reviews & Booking", "Software Engineer", 8, 2, 4, 6, company="travel-co"),
+    _p("D6", "corp", "CH", "web", "Telecommunication", "Team Lead", 5, 4, 7, 9, company="swiss-telco"),
+    _p("D7", "corp", "UK", "web", "Scientific Publisher", "Director of Engineering", 9, 3, 3, 12),
+    _p("D8", "sme", "CH", "web", "Network Services", "Team Lead", 30, 3, 5, 8),
+    _p("D9", "corp", "US", "web", "Video Streaming", "Head Release Engineering", 19, 3, 5, 9),
+    _p("D10", "sme", "CH", "web", "Sustainability Solutions", "DevOps Engineer", 10, 8, 1, 4),
+    _p("D11", "corp", "CH", "web", "Telecommunication", "Software Engineer", 10, 2, 5, 10, company="swiss-telco"),
+)
+
+
+def participants(interview_round: int | None = None) -> list[InterviewParticipant]:
+    """All participants, optionally filtered by interview round."""
+    if interview_round is not None and interview_round not in (1, 2):
+        raise ConfigurationError(f"interview rounds are 1 and 2, got {interview_round}")
+    return [
+        p
+        for p in PARTICIPANTS
+        if interview_round is None or p.interview_round == interview_round
+    ]
+
+
+def distinct_companies() -> set[str]:
+    """Keys of the distinct companies interviewed (27 per the chapter)."""
+    return {p.company_key for p in PARTICIPANTS}
+
+
+def companies_by_type() -> dict[str, int]:
+    """Fig 2.3's interview demographics: companies per size class."""
+    per_company: dict[str, str] = {}
+    for participant in PARTICIPANTS:
+        per_company[participant.company_key] = participant.company_type
+    out: dict[str, int] = {}
+    for company_type in per_company.values():
+        out[company_type] = out.get(company_type, 0) + 1
+    return out
+
+
+def participants_by_app_type() -> dict[str, int]:
+    """Fig 2.3's interview application models."""
+    out: dict[str, int] = {}
+    for participant in PARTICIPANTS:
+        out[participant.app_type] = out.get(participant.app_type, 0) + 1
+    return out
+
+
+def mean_experience(interview_round: int) -> float:
+    """Average total experience of a round (chapter: ~9 and ~12 years)."""
+    pool = participants(interview_round)
+    return sum(p.experience_total for p in pool) / len(pool)

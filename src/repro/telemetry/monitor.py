@@ -1,0 +1,58 @@
+"""Monitors: the bridge from the runtime to the metric store.
+
+A :class:`Monitor` observes completed requests/spans and derives the
+standard application-level metrics the dissertation's checks consume:
+``response_time`` (ms), ``error`` (0/1 per request, so a windowed mean is
+the error rate), and ``throughput`` (1 per request, so a windowed count is
+requests served).
+"""
+
+from __future__ import annotations
+
+from repro.telemetry.store import MetricStore
+from repro.tracing.span import Span
+
+
+class Monitor:
+    """Derives per-service-version metrics from spans."""
+
+    def __init__(self, store: MetricStore | None = None) -> None:
+        self.store = store or MetricStore()
+
+    def observe_span(self, span: Span) -> None:
+        """Record the metrics implied by one completed span."""
+        self.store.record(
+            span.service, span.version, "response_time", span.start, span.duration_ms
+        )
+        self.store.record(
+            span.service, span.version, "error", span.start, 1.0 if span.error else 0.0
+        )
+        self.store.record(span.service, span.version, "throughput", span.start, 1.0)
+
+    def observe_spans(self, spans: list[Span]) -> None:
+        """Record metrics for many spans."""
+        for span in spans:
+            self.observe_span(span)
+
+    def error_rate(
+        self, service: str, version: str, start: float, end: float
+    ) -> float | None:
+        """Fraction of failed requests in the window (None if no traffic)."""
+        return self.store.aggregate(service, version, "error", "mean", start, end)
+
+    def mean_response_time(
+        self, service: str, version: str, start: float, end: float
+    ) -> float | None:
+        """Mean response time in ms over the window (None if no traffic)."""
+        return self.store.aggregate(
+            service, version, "response_time", "mean", start, end
+        )
+
+    def throughput(
+        self, service: str, version: str, start: float, end: float
+    ) -> float:
+        """Requests served in the window."""
+        value = self.store.aggregate(
+            service, version, "throughput", "count", start, end
+        )
+        return value or 0.0

@@ -1,0 +1,128 @@
+"""The windowed metric store Bifrost checks read from.
+
+Samples are timestamped on the shared simulation clock and keyed by
+(service, version, metric).  Checks ask questions like "mean response_time
+of catalog v2.0.0 over the last 30 s" — :meth:`MetricStore.aggregate`
+answers them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+from repro.errors import ValidationError
+from repro.stats.descriptive import mean, median, percentile
+from repro.stats.timeseries import TimeSeries
+
+
+@dataclass(frozen=True, order=True)
+class MetricKey:
+    """Identity of one metric stream."""
+
+    service: str
+    version: str
+    metric: str
+
+    def __str__(self) -> str:
+        return f"{self.service}@{self.version}/{self.metric}"
+
+
+_AGGREGATIONS: dict[str, Callable[[list[float]], float]] = {
+    "mean": mean,
+    "median": median,
+    "min": min,
+    "max": max,
+    "sum": sum,
+    "count": lambda xs: float(len(xs)),
+    "p90": lambda xs: percentile(xs, 90),
+    "p95": lambda xs: percentile(xs, 95),
+    "p99": lambda xs: percentile(xs, 99),
+}
+
+
+def supported_aggregations() -> list[str]:
+    """Names of aggregation functions checks may reference."""
+    return sorted(_AGGREGATIONS)
+
+
+class MetricStore:
+    """Timestamped samples per :class:`MetricKey` with windowed aggregation."""
+
+    def __init__(self) -> None:
+        self._series: dict[MetricKey, TimeSeries] = {}
+
+    def record(
+        self, service: str, version: str, metric: str, timestamp: float, value: float
+    ) -> None:
+        """Record one sample."""
+        key = MetricKey(service, version, metric)
+        series = self._series.get(key)
+        if series is None:
+            series = TimeSeries(str(key))
+            self._series[key] = series
+        series.append(timestamp, value)
+
+    def keys(self) -> list[MetricKey]:
+        """All metric keys with at least one sample."""
+        return sorted(self._series)
+
+    def series(self, service: str, version: str, metric: str) -> TimeSeries:
+        """The raw time series for a key (empty series if absent)."""
+        return self._series.get(
+            MetricKey(service, version, metric),
+            TimeSeries(str(MetricKey(service, version, metric))),
+        )
+
+    def values_in_window(
+        self,
+        service: str,
+        version: str,
+        metric: str,
+        start: float,
+        end: float,
+    ) -> list[float]:
+        """All sample values with start <= t < end."""
+        return self.series(service, version, metric).window(start, end)
+
+    def aggregate(
+        self,
+        service: str,
+        version: str,
+        metric: str,
+        aggregation: str,
+        start: float,
+        end: float,
+    ) -> float | None:
+        """Apply *aggregation* to the window; None when the window is empty.
+
+        An empty window is a meaningful outcome (the check is
+        *inconclusive*, cf. Section 4.3.2), not an error.
+        """
+        if aggregation not in _AGGREGATIONS:
+            raise ValidationError(
+                f"unknown aggregation {aggregation!r}; "
+                f"supported: {supported_aggregations()}"
+            )
+        values = self.values_in_window(service, version, metric, start, end)
+        if not values:
+            return None
+        return float(_AGGREGATIONS[aggregation](values))
+
+    def merge(self, other: "MetricStore") -> None:
+        """Fold all samples of *other* into this store."""
+        for key, series in other._series.items():
+            for ts, value in series:
+                self.record(key.service, key.version, key.metric, ts, value)
+
+
+def record_many(
+    store: MetricStore,
+    service: str,
+    version: str,
+    metric: str,
+    samples: Iterable[tuple[float, float]],
+) -> None:
+    """Bulk-record ``(timestamp, value)`` samples into *store*."""
+    for timestamp, value in samples:
+        store.record(service, version, metric, timestamp, value)

@@ -1,0 +1,48 @@
+"""Service-level aggregation of interaction graphs (Section 1.5.1).
+
+"Should changes be considered on the level of individual service
+endpoints, or is it better to treat them in an aggregated way on the
+service level?" — the dissertation frames granularity as a core
+trade-off: coarser graphs are cheaper to analyze and produce fewer,
+broader changes; endpoint-level graphs are precise but larger.  This
+module collapses endpoint nodes into one node per (service, version) so
+the same diff and heuristics run at either granularity.
+"""
+
+from __future__ import annotations
+
+from repro.topology.graph import InteractionGraph, NodeKey
+
+#: The pseudo-endpoint aggregated nodes carry.
+SERVICE_LEVEL_ENDPOINT = "*"
+
+
+def aggregate_to_service_level(graph: InteractionGraph) -> InteractionGraph:
+    """Collapse *graph* to one node per (service, version).
+
+    Node statistics sum across the service's endpoints (call counts,
+    errors, total response time, so means stay call-weighted); parallel
+    edges between the same service pair merge likewise.  Self-edges that
+    arise from intra-service endpoint calls are dropped — at service
+    granularity they carry no information.
+    """
+    aggregated = InteractionGraph(f"{graph.name}-service-level")
+
+    def collapse(key: NodeKey) -> NodeKey:
+        return NodeKey(key.service, key.version, SERVICE_LEVEL_ENDPOINT)
+
+    for key in graph.nodes:
+        stats = graph.node_stats(key)
+        target = aggregated.add_node(collapse(key))
+        target.calls += stats.calls
+        target.errors += stats.errors
+        target.total_response_ms += stats.total_response_ms
+    for caller, callee, stats in graph.edges():
+        source, target = collapse(caller), collapse(callee)
+        if source == target:
+            continue
+        edge = aggregated.add_edge(source, target)
+        edge.calls += stats.calls
+        edge.errors += stats.errors
+        edge.total_response_ms += stats.total_response_ms
+    return aggregated

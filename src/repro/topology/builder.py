@@ -1,0 +1,42 @@
+"""Building interaction graphs from distributed traces.
+
+Equivalent to the paper's extraction from Jaeger/Zipkin: every span
+becomes (or updates) a node, every parent→child span pair an edge.
+Shadow (dark-launched) spans are included by default — dark launches are
+exactly the situations where the experimental topology diverges.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.topology.graph import InteractionGraph
+from repro.tracing.trace import Trace
+
+
+def build_interaction_graph(
+    traces: Iterable[Trace],
+    name: str = "graph",
+    include_shadow: bool = True,
+) -> InteractionGraph:
+    """Aggregate *traces* into an :class:`InteractionGraph`.
+
+    Args:
+        traces: the traces to aggregate (e.g. from a
+            :class:`~repro.tracing.query.TraceQuery`).
+        name: a label for the resulting graph.
+        include_shadow: whether spans tagged ``shadow`` (dark-launch
+            duplicates) contribute nodes and edges.
+    """
+    graph = InteractionGraph(name)
+    for trace in traces:
+        for span, parent in trace.walk():
+            if not include_shadow and span.tags.get("shadow") == "true":
+                continue
+            caller = parent.node_key if parent is not None else None
+            from repro.topology.graph import NodeKey
+
+            callee = NodeKey(*span.node_key)
+            caller_key = NodeKey(*caller) if caller is not None else None
+            graph.observe_call(caller_key, callee, span.duration_ms, span.error)
+    return graph

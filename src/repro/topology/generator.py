@@ -1,0 +1,174 @@
+"""Synthetic interaction graphs for the performance evaluation.
+
+The Chapter 5 performance study (Figs 5.9, 5.10) measures heuristic
+execution times on interaction graphs of up to 10,000 endpoints with
+varying shapes (deep vs broad) and change frequencies.  Generating those
+graphs by running traces through the simulated runtime would be wasteful;
+this module builds them directly.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.simulation.rng import SeededRng
+from repro.topology.graph import InteractionGraph, NodeKey
+
+
+def random_interaction_graph(
+    num_endpoints: int,
+    branching: int = 3,
+    seed: int = 9,
+    version: str = "1.0.0",
+    endpoints_per_service: int = 10,
+    mean_response_ms: float = 25.0,
+    calls_per_node: int = 50,
+) -> InteractionGraph:
+    """Generate a tree-shaped interaction graph with *num_endpoints* nodes.
+
+    *branching* controls the shape: 1–2 yields deep chains, larger values
+    broad fans (the deep-vs-broad axis of Fig 5.9).  Endpoints are packed
+    into services of *endpoints_per_service* each (the paper's "1,000
+    microservices with 10 endpoints each" scale).
+    """
+    if num_endpoints < 1:
+        raise ConfigurationError("num_endpoints must be >= 1")
+    if branching < 1:
+        raise ConfigurationError("branching must be >= 1")
+    rng = SeededRng(seed)
+    graph = InteractionGraph(f"synthetic-{num_endpoints}")
+
+    def key_of(index: int) -> NodeKey:
+        service = f"svc{index // endpoints_per_service:04d}"
+        endpoint = f"ep{index % endpoints_per_service}"
+        return NodeKey(service, version, endpoint)
+
+    for index in range(num_endpoints):
+        key = key_of(index)
+        stats = graph.add_node(key)
+        mean = mean_response_ms * rng.uniform(0.4, 2.0)
+        for _ in range(calls_per_node):
+            stats.observe(mean * rng.uniform(0.7, 1.4), error=False)
+
+    # Tree wiring: node i's parent is node (i-1)//branching.
+    for index in range(1, num_endpoints):
+        parent = key_of((index - 1) // branching)
+        child = key_of(index)
+        edge = graph.add_edge(parent, child)
+        child_mean = graph.node_stats(child).mean_response_ms
+        for _ in range(calls_per_node):
+            edge.observe(child_mean * rng.uniform(0.8, 1.3), error=False)
+    return graph
+
+
+def _copy_graph(graph: InteractionGraph, name: str) -> InteractionGraph:
+    clone = InteractionGraph(name)
+    for key in graph.nodes:
+        stats = graph.node_stats(key)
+        cloned = clone.add_node(key)
+        cloned.calls = stats.calls
+        cloned.errors = stats.errors
+        cloned.total_response_ms = stats.total_response_ms
+    for caller, callee, stats in graph.edges():
+        cloned_edge = clone.add_edge(caller, callee)
+        cloned_edge.calls = stats.calls
+        cloned_edge.errors = stats.errors
+        cloned_edge.total_response_ms = stats.total_response_ms
+    return clone
+
+
+def mutate_graph(
+    graph: InteractionGraph,
+    changes: int,
+    seed: int = 13,
+    degradation_factor: float = 1.0,
+) -> InteractionGraph:
+    """Derive an experimental variant of *graph* with ~*changes* changes.
+
+    Applied mutations cycle through the taxonomy: version updates of
+    called endpoints, calls to brand-new endpoints, new calls to existing
+    endpoints, and removed calls.  With ``degradation_factor > 1`` the
+    version-updated nodes also degrade their response times — the
+    "with performance issues" sub-scenarios.
+    """
+    if changes < 0:
+        raise ConfigurationError("changes must be >= 0")
+    rng = SeededRng(seed)
+    variant = _copy_graph(graph, f"{graph.name}-variant")
+    nodes = variant.nodes
+    if not nodes:
+        return variant
+    new_service_counter = 0
+    for change_index in range(changes):
+        op = change_index % 4
+        if op == 0:
+            # Updated callee version (+ optional degradation).
+            target = rng.choice(nodes)
+            bumped = NodeKey(target.service, "2.0.0", target.endpoint)
+            if variant.has_node(bumped) or not variant.has_node(target):
+                continue
+            old_stats = variant.node_stats(target)
+            new_stats = variant.add_node(bumped)
+            new_stats.calls = old_stats.calls
+            new_stats.errors = old_stats.errors
+            new_stats.total_response_ms = (
+                old_stats.total_response_ms * degradation_factor
+            )
+            for caller in variant.predecessors(target):
+                edge = variant.add_edge(caller, bumped)
+                old_edge = variant.edge_stats(caller, target)
+                edge.calls = old_edge.calls
+                edge.total_response_ms = (
+                    old_edge.total_response_ms * degradation_factor
+                )
+            for callee in variant.successors(target):
+                edge = variant.add_edge(bumped, callee)
+                old_edge = variant.edge_stats(target, callee)
+                edge.calls = old_edge.calls
+                edge.total_response_ms = old_edge.total_response_ms
+            _remove_node(variant, target)
+            nodes = variant.nodes
+        elif op == 1:
+            # Calling a new endpoint (brand-new service).
+            caller = rng.choice(nodes)
+            new_service_counter += 1
+            fresh = NodeKey(f"newsvc{new_service_counter:03d}", "1.0.0", "ep0")
+            stats = variant.add_node(fresh)
+            for _ in range(20):
+                stats.observe(rng.uniform(10, 60), error=False)
+            edge = variant.add_edge(caller, fresh)
+            for _ in range(20):
+                edge.observe(stats.mean_response_ms, error=False)
+            nodes = variant.nodes
+        elif op == 2:
+            # Calling an existing endpoint from a new caller.
+            caller = rng.choice(nodes)
+            callee = rng.choice(nodes)
+            if caller != callee and not variant.has_edge(caller, callee):
+                edge = variant.add_edge(caller, callee)
+                for _ in range(20):
+                    edge.observe(
+                        variant.node_stats(callee).mean_response_ms, error=False
+                    )
+        else:
+            # Removing a service call (drop a leaf edge).
+            caller = rng.choice(nodes)
+            succs = variant.successors(caller)
+            leaves = [s for s in succs if not variant.successors(s)]
+            if leaves:
+                _remove_edge(variant, caller, rng.choice(leaves))
+    return variant
+
+
+def _remove_edge(graph: InteractionGraph, caller: NodeKey, callee: NodeKey) -> None:
+    graph._succ.get(caller, {}).pop(callee, None)
+    graph._pred.get(callee, set()).discard(caller)
+
+
+def _remove_node(graph: InteractionGraph, key: NodeKey) -> None:
+    for targets in graph._succ.values():
+        targets.pop(key, None)
+    for preds in graph._pred.values():
+        preds.discard(key)
+    graph._succ.pop(key, None)
+    graph._pred.pop(key, None)
+    graph._nodes.pop(key, None)

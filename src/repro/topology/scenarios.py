@@ -1,0 +1,259 @@
+"""Release scenarios for the ranking-quality evaluation (Section 5.7).
+
+Two scenarios mirror the paper's setup, each with a sub-scenario with and
+without injected performance degradation:
+
+- **Scenario 1 — revisiting the sample application**: the experimental
+  variant introduces a recommendation service (the dissertation's
+  motivating example), consumes an existing catalog endpoint from it,
+  updates the catalog, and drops the search call.
+- **Scenario 2 — breaking changes**: a pricing update starts failing,
+  cascading errors into its callers, next to benign changes that should
+  rank below it.
+
+Ground-truth relevance grades encode the paper's rationale: changes that
+actually hurt the experiment's health are highly relevant (3), risky
+structural changes are relevant (2), benign changes marginal (1),
+no-impact changes irrelevant (0).  Both variants are exercised through
+the full simulated runtime so graphs come from real traces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.microservices.application import Application
+from repro.microservices.runtime import Runtime
+from repro.microservices.service import DownstreamCall, EndpointSpec, ServiceVersion
+from repro.simulation.latency import LoadSensitiveLatency, LogNormalLatency
+from repro.topology.builder import build_interaction_graph
+from repro.topology.diff import TopologyDiff, diff_graphs
+from repro.topology.graph import InteractionGraph
+from repro.traffic.profile import DEFAULT_GROUPS
+from repro.traffic.users import UserPopulation
+from repro.traffic.workload import WorkloadGenerator
+
+
+@dataclass(frozen=True)
+class ReleaseScenario:
+    """One evaluation scenario: graphs, diff, and ground truth."""
+
+    name: str
+    degraded: bool
+    baseline: InteractionGraph
+    experimental: InteractionGraph
+    relevance: dict[tuple[str, str, str], float]
+
+    def diff(self) -> TopologyDiff:
+        """The topological difference of the two variants."""
+        return diff_graphs(self.baseline, self.experimental)
+
+
+def _endpoint(name: str, median_ms: float, calls=(), error_rate: float = 0.0,
+              latency_factor: float = 1.0) -> EndpointSpec:
+    return EndpointSpec(
+        name=name,
+        latency=LoadSensitiveLatency(
+            LogNormalLatency(median_ms * latency_factor, 0.25)
+        ),
+        error_rate=error_rate,
+        calls=calls,
+    )
+
+
+def _version(service: str, version: str, endpoints: list[EndpointSpec]) -> ServiceVersion:
+    return ServiceVersion(
+        service, version, {e.name: e for e in endpoints}, capacity_rps=500.0
+    )
+
+
+def sample_application() -> Application:
+    """The baseline e-commerce case-study application (cf. Fig 4.5)."""
+    app = Application("ab-inc")
+    app.deploy(
+        _version("frontend", "1.0.0", [
+            _endpoint("index", 12, (
+                DownstreamCall("catalog", "list"),
+                DownstreamCall("cart", "view", probability=0.6),
+                DownstreamCall("search", "query", probability=0.5),
+            )),
+        ]),
+        stable=True,
+    )
+    app.deploy(
+        _version("catalog", "1.0.0", [
+            _endpoint("list", 20, (
+                DownstreamCall("inventory", "stock"),
+                DownstreamCall("pricing", "quote"),
+            )),
+        ]),
+        stable=True,
+    )
+    app.deploy(
+        _version("cart", "1.0.0", [
+            _endpoint("view", 15, (DownstreamCall("pricing", "quote"),)),
+        ]),
+        stable=True,
+    )
+    app.deploy(
+        _version("search", "1.0.0", [
+            _endpoint("query", 25, (DownstreamCall("catalog", "list"),)),
+        ]),
+        stable=True,
+    )
+    app.deploy(
+        _version("inventory", "1.0.0", [_endpoint("stock", 10)]), stable=True
+    )
+    app.deploy(
+        _version("pricing", "1.0.0", [_endpoint("quote", 8)]), stable=True
+    )
+    return app
+
+
+def _trace_graph(app: Application, name: str, seed: int, requests: int = 600) -> InteractionGraph:
+    """Drive *app* with a workload and build its interaction graph."""
+    runtime = Runtime(app, seed=seed)
+    population = UserPopulation(300, DEFAULT_GROUPS, seed=seed + 1)
+    workload = WorkloadGenerator(population, entry="frontend.index", seed=seed + 2)
+    for request in workload.poisson(40.0, requests / 40.0):
+        runtime.execute(request)
+    return build_interaction_graph(runtime.collector.traces(), name)
+
+
+def scenario1(degraded: bool = False, seed: int = 31) -> ReleaseScenario:
+    """Scenario 1: the recommendation-feature experiment.
+
+    Changes the experimental variant introduces:
+
+    1. frontend 2.0.0 calls the **new** ``recommend`` service,
+    2. recommend calls the **existing** ``catalog.list`` endpoint,
+    3. catalog is updated to 2.0.0 (degraded in the sub-scenario),
+    4. frontend 2.0.0 **removes** the ``search.query`` call.
+    """
+    baseline_app = sample_application()
+    baseline = _trace_graph(baseline_app, "baseline", seed)
+
+    exp_app = sample_application()
+    catalog_factor = 2.5 if degraded else 1.0
+    exp_app.deploy(
+        _version("frontend", "2.0.0", [
+            _endpoint("index", 12, (
+                DownstreamCall("catalog", "list"),
+                DownstreamCall("cart", "view", probability=0.6),
+                DownstreamCall("recommend", "suggest"),
+            )),
+        ]),
+        stable=True,
+    )
+    exp_app.deploy(
+        _version("recommend", "1.0.0", [
+            _endpoint("suggest", 18, (DownstreamCall("catalog", "list"),)),
+        ]),
+        stable=True,
+    )
+    exp_app.deploy(
+        _version("catalog", "2.0.0", [
+            _endpoint("list", 20, (
+                DownstreamCall("inventory", "stock"),
+                DownstreamCall("pricing", "quote"),
+            ), latency_factor=catalog_factor),
+        ]),
+        stable=True,
+    )
+    experimental = _trace_graph(exp_app, "experimental", seed + 10)
+
+    if degraded:
+        # The updated catalog is the actual health problem (it appears as
+        # the updated_version edge from the frontend and as the updated
+        # caller on its outgoing calls); the new recommendation path
+        # remains structurally risky.
+        relevance = {
+            ("updated_version", "frontend/index", "catalog/list"): 3.0,
+            ("updated_caller_version", "catalog/list", "inventory/stock"): 2.0,
+            ("updated_caller_version", "catalog/list", "pricing/quote"): 2.0,
+            ("calling_new_endpoint", "frontend/index", "recommend/suggest"): 2.0,
+            ("calling_existing_endpoint", "recommend/suggest", "catalog/list"): 2.0,
+            ("updated_caller_version", "frontend/index", "cart/view"): 1.0,
+            ("removing_service_call", "frontend/index", "search/query"): 1.0,
+            ("removing_service_call", "search/query", "catalog/list"): 0.0,
+        }
+    else:
+        # Without degradation the structurally riskiest change — the new
+        # service on the hot path — matters most.
+        relevance = {
+            ("calling_new_endpoint", "frontend/index", "recommend/suggest"): 3.0,
+            ("calling_existing_endpoint", "recommend/suggest", "catalog/list"): 2.0,
+            ("updated_version", "frontend/index", "catalog/list"): 2.0,
+            ("updated_caller_version", "catalog/list", "inventory/stock"): 1.0,
+            ("updated_caller_version", "catalog/list", "pricing/quote"): 1.0,
+            ("updated_caller_version", "frontend/index", "cart/view"): 1.0,
+            ("removing_service_call", "frontend/index", "search/query"): 1.0,
+            ("removing_service_call", "search/query", "catalog/list"): 0.0,
+        }
+    return ReleaseScenario(
+        name="scenario1" + ("-degraded" if degraded else ""),
+        degraded=degraded,
+        baseline=baseline,
+        experimental=experimental,
+        relevance=relevance,
+    )
+
+
+def scenario2(degraded: bool = True, seed: int = 47) -> ReleaseScenario:
+    """Scenario 2: breaking changes.
+
+    The pricing service is updated to a version that fails a large share
+    of requests (and, in the degraded sub-scenario, also slows down),
+    cascading errors into catalog and cart.  Alongside, two benign
+    changes happen: inventory gets a harmless version bump and the
+    frontend additionally consults a new audit service.
+    """
+    baseline_app = sample_application()
+    baseline = _trace_graph(baseline_app, "baseline", seed)
+
+    exp_app = sample_application()
+    exp_app.deploy(
+        _version("pricing", "2.0.0", [
+            _endpoint(
+                "quote", 8,
+                error_rate=0.45,
+                latency_factor=3.0 if degraded else 1.0,
+            ),
+        ]),
+        stable=True,
+    )
+    exp_app.deploy(
+        _version("inventory", "1.1.0", [_endpoint("stock", 10)]), stable=True
+    )
+    exp_app.deploy(
+        _version("frontend", "1.1.0", [
+            _endpoint("index", 12, (
+                DownstreamCall("catalog", "list"),
+                DownstreamCall("cart", "view", probability=0.6),
+                DownstreamCall("search", "query", probability=0.5),
+                DownstreamCall("audit", "log", probability=0.8),
+            )),
+        ]),
+        stable=True,
+    )
+    exp_app.deploy(
+        _version("audit", "1.0.0", [_endpoint("log", 5)]), stable=True
+    )
+    experimental = _trace_graph(exp_app, "experimental", seed + 10)
+
+    relevance = {
+        ("updated_callee_version", "catalog/list", "pricing/quote"): 3.0,
+        ("updated_callee_version", "cart/view", "pricing/quote"): 3.0,
+        ("updated_callee_version", "catalog/list", "inventory/stock"): 1.0,
+        ("calling_new_endpoint", "frontend/index", "audit/log"): 1.0,
+        ("updated_caller_version", "frontend/index", "catalog/list"): 1.0,
+        ("updated_caller_version", "frontend/index", "cart/view"): 1.0,
+        ("updated_caller_version", "frontend/index", "search/query"): 1.0,
+    }
+    return ReleaseScenario(
+        name="scenario2" + ("-degraded" if degraded else ""),
+        degraded=degraded,
+        baseline=baseline,
+        experimental=experimental,
+        relevance=relevance,
+    )

@@ -1,0 +1,83 @@
+"""Visualizing topological differences (Fig 1.3 / Fig 5.5).
+
+The research prototype renders the topological difference interactively
+with color coding — red for removed, green for added, yellow for updated
+nodes — next to the change ranking.  This module produces the same view
+as Graphviz DOT (for rendering) and as a plain-text report (for
+terminals and logs).
+"""
+
+from __future__ import annotations
+
+from repro.topology.diff import DiffStatus, TopologyDiff
+from repro.topology.ranking import RankedChange
+
+_COLORS = {
+    DiffStatus.ADDED: "palegreen",
+    DiffStatus.REMOVED: "lightcoral",
+    DiffStatus.UPDATED: "khaki",
+    DiffStatus.UNCHANGED: "white",
+}
+
+
+def diff_to_dot(diff: TopologyDiff, name: str = "topological_difference") -> str:
+    """Render *diff* as a Graphviz digraph with the paper's color coding.
+
+    Nodes are (service, endpoint) pairs labelled with both variants'
+    version sets; edges are drawn from the union of both graphs, dashed
+    when they only exist on the baseline side (removed calls).
+    """
+    lines = [f'digraph "{name}" {{', "  rankdir=LR;", "  node [style=filled];"]
+    for (service, endpoint), entry in sorted(diff.entries.items()):
+        base = ",".join(sorted(entry.baseline_versions)) or "-"
+        exp = ",".join(sorted(entry.experimental_versions)) or "-"
+        label = f"{service}/{endpoint}\\n{base} → {exp}"
+        color = _COLORS[entry.status]
+        lines.append(
+            f'  "{service}/{endpoint}" [label="{label}", fillcolor={color}];'
+        )
+    seen: set[tuple[tuple[str, str], tuple[str, str]]] = set()
+    for graph, style in ((diff.experimental, "solid"), (diff.baseline, "dashed")):
+        for caller, callee, _stats in graph.edges():
+            key = (caller.service_endpoint, callee.service_endpoint)
+            if key in seen:
+                continue
+            seen.add(key)
+            source = f"{caller.service}/{caller.endpoint}"
+            target = f"{callee.service}/{callee.endpoint}"
+            lines.append(f'  "{source}" -> "{target}" [style={style}];')
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def diff_report(
+    diff: TopologyDiff, ranking: list[RankedChange] | None = None, top: int = 5
+) -> str:
+    """A terminal-friendly rendering of the Fig 1.3 view.
+
+    Left panel: the color-coded entries (one line each); right panel
+    (below): the top-ranked changes when a ranking is supplied.
+    """
+    marker = {
+        DiffStatus.ADDED: "[+]",
+        DiffStatus.REMOVED: "[-]",
+        DiffStatus.UPDATED: "[~]",
+        DiffStatus.UNCHANGED: "[ ]",
+    }
+    lines = ["Topological difference:"]
+    for (service, endpoint), entry in sorted(diff.entries.items()):
+        base = ",".join(sorted(entry.baseline_versions)) or "-"
+        exp = ",".join(sorted(entry.experimental_versions)) or "-"
+        lines.append(
+            f"  {marker[entry.status]} {service}/{endpoint}: {base} -> {exp}"
+        )
+    summary = diff.summary()
+    lines.append(
+        f"  ({summary['added']} added, {summary['removed']} removed, "
+        f"{summary['updated']} updated, {summary['changes']} changes)"
+    )
+    if ranking:
+        lines.append("Top-ranked changes:")
+        for ranked in ranking[:top]:
+            lines.append(f"  {ranked.describe()}")
+    return "\n".join(lines)

@@ -1,0 +1,57 @@
+"""The trace collector: in-memory span ingestion and trace assembly."""
+
+from __future__ import annotations
+
+from repro.errors import ValidationError
+from repro.tracing.span import Span
+from repro.tracing.trace import Trace
+
+
+class TraceCollector:
+    """Collects spans as services emit them and assembles traces on demand.
+
+    Spans may arrive in any order (children before parents happens with
+    real tracers too); assembly validates tree structure lazily.
+    """
+
+    def __init__(self, capacity: int | None = None) -> None:
+        """*capacity* bounds the number of retained traces (FIFO eviction)."""
+        if capacity is not None and capacity <= 0:
+            raise ValidationError("capacity must be positive when given")
+        self._spans_by_trace: dict[str, list[Span]] = {}
+        self._capacity = capacity
+
+    def record(self, span: Span) -> None:
+        """Ingest one span."""
+        bucket = self._spans_by_trace.setdefault(span.trace_id, [])
+        bucket.append(span)
+        if self._capacity is not None and len(self._spans_by_trace) > self._capacity:
+            oldest = next(iter(self._spans_by_trace))
+            del self._spans_by_trace[oldest]
+
+    def record_all(self, spans: list[Span]) -> None:
+        """Ingest many spans."""
+        for span in spans:
+            self.record(span)
+
+    @property
+    def trace_ids(self) -> list[str]:
+        """Ids of all retained traces, in ingestion order."""
+        return list(self._spans_by_trace)
+
+    def __len__(self) -> int:
+        return len(self._spans_by_trace)
+
+    def trace(self, trace_id: str) -> Trace:
+        """Assemble the trace with the given id."""
+        if trace_id not in self._spans_by_trace:
+            raise ValidationError(f"no spans recorded for trace {trace_id!r}")
+        return Trace(trace_id, self._spans_by_trace[trace_id])
+
+    def traces(self) -> list[Trace]:
+        """Assemble all retained traces."""
+        return [self.trace(tid) for tid in self._spans_by_trace]
+
+    def clear(self) -> None:
+        """Discard all retained spans."""
+        self._spans_by_trace.clear()

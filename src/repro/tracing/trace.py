@@ -1,0 +1,88 @@
+"""Traces: trees of spans describing one end-to-end request."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.errors import ValidationError
+from repro.tracing.span import Span, SpanId
+
+
+class Trace:
+    """All spans of one distributed request, indexed for tree traversal."""
+
+    def __init__(self, trace_id: str, spans: list[Span]) -> None:
+        if not spans:
+            raise ValidationError(f"trace {trace_id!r} has no spans")
+        if any(span.trace_id != trace_id for span in spans):
+            raise ValidationError(f"trace {trace_id!r} contains foreign spans")
+        self.trace_id = trace_id
+        self._spans = {span.span_id: span for span in spans}
+        if len(self._spans) != len(spans):
+            raise ValidationError(f"trace {trace_id!r} has duplicate span ids")
+        roots = [s for s in spans if s.parent_id is None]
+        if len(roots) != 1:
+            raise ValidationError(
+                f"trace {trace_id!r} must have exactly one root span, "
+                f"found {len(roots)}"
+            )
+        self._root = roots[0]
+        self._children: dict[SpanId, list[Span]] = {}
+        for span in spans:
+            if span.parent_id is not None:
+                if span.parent_id not in self._spans:
+                    raise ValidationError(
+                        f"span {span.span_id} references unknown parent "
+                        f"{span.parent_id}"
+                    )
+                self._children.setdefault(span.parent_id, []).append(span)
+        for children in self._children.values():
+            children.sort(key=lambda s: s.start)
+
+    def __len__(self) -> int:
+        return len(self._spans)
+
+    def __iter__(self) -> Iterator[Span]:
+        return iter(self._spans.values())
+
+    @property
+    def root(self) -> Span:
+        """The entry span of the request."""
+        return self._root
+
+    @property
+    def spans(self) -> list[Span]:
+        """All spans (copy, unordered)."""
+        return list(self._spans.values())
+
+    def children(self, span_id: SpanId) -> list[Span]:
+        """Direct child spans of *span_id*, ordered by start time."""
+        return list(self._children.get(span_id, []))
+
+    def span(self, span_id: SpanId) -> Span:
+        """Look up a span by id."""
+        try:
+            return self._spans[span_id]
+        except KeyError:
+            raise ValidationError(
+                f"trace {self.trace_id!r} has no span {span_id!r}"
+            ) from None
+
+    def walk(self) -> Iterator[tuple[Span, Span | None]]:
+        """Yield (span, parent) pairs in depth-first pre-order."""
+        stack: list[tuple[Span, Span | None]] = [(self._root, None)]
+        while stack:
+            span, parent = stack.pop()
+            yield span, parent
+            for child in reversed(self.children(span.span_id)):
+                stack.append((child, span))
+
+    @property
+    def duration_ms(self) -> float:
+        """End-to-end duration: the root span's duration."""
+        return self._root.duration_ms
+
+    @property
+    def has_error(self) -> bool:
+        """Whether any span in the trace failed."""
+        return any(span.error for span in self._spans.values())

@@ -1,0 +1,22 @@
+"""Traffic profiles, user populations, and workload generation.
+
+Fenrir schedules experiments against an expected *traffic profile*
+(requests per time slot and user group — Fig 3.3 shows the real-world
+profile the paper used; we synthesize an equivalent diurnal/weekly shape).
+Bifrost and the topology evaluation drive a simulated application with
+request *workloads* derived from such profiles.
+"""
+
+from repro.traffic.profile import TrafficProfile, UserGroup, diurnal_profile
+from repro.traffic.users import UserPopulation, bucket_user
+from repro.traffic.workload import Request, WorkloadGenerator
+
+__all__ = [
+    "TrafficProfile",
+    "UserGroup",
+    "diurnal_profile",
+    "UserPopulation",
+    "bucket_user",
+    "Request",
+    "WorkloadGenerator",
+]

@@ -1,0 +1,96 @@
+"""User populations and deterministic hash bucketing.
+
+Experiment platforms assign users to variants with salted hash bucketing:
+``hash(salt + user_id) mod buckets``.  The assignment is sticky (a user
+always lands in the same bucket for one experiment) yet independent across
+experiments with different salts — the property that lets parallel
+experiments use non-overlapping user sets.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable, Sequence
+
+from repro.errors import ConfigurationError
+from repro.simulation.rng import SeededRng
+from repro.traffic.profile import UserGroup
+
+
+def bucket_user(user_id: str, salt: str, buckets: int = 1000) -> int:
+    """Deterministically map *user_id* to a bucket in ``[0, buckets)``.
+
+    Uses MD5 over ``salt:user_id`` so the mapping is stable across
+    processes and Python hash randomization.
+    """
+    if buckets <= 0:
+        raise ConfigurationError(f"buckets must be positive, got {buckets}")
+    digest = hashlib.md5(f"{salt}:{user_id}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") % buckets
+
+
+def in_rollout(user_id: str, salt: str, fraction: float) -> bool:
+    """Whether *user_id* falls inside a rollout of the given *fraction*."""
+    if not 0.0 <= fraction <= 1.0:
+        raise ConfigurationError(f"fraction must be in [0, 1], got {fraction}")
+    return bucket_user(user_id, salt, 10_000) < fraction * 10_000
+
+
+class UserPopulation:
+    """A synthetic user base partitioned into user groups.
+
+    Users are identified by opaque string ids; each user belongs to
+    exactly one :class:`UserGroup` with probability proportional to the
+    group's traffic share.
+    """
+
+    def __init__(
+        self, size: int, groups: Sequence[UserGroup], seed: int = 11
+    ) -> None:
+        if size <= 0:
+            raise ConfigurationError(f"population size must be positive, got {size}")
+        if not groups:
+            raise ConfigurationError("population needs at least one group")
+        self._groups = list(groups)
+        rng = SeededRng(seed)
+        names = [g.name for g in self._groups]
+        shares = [g.share for g in self._groups]
+        self._group_of: dict[str, str] = {}
+        self._members: dict[str, list[str]] = {name: [] for name in names}
+        for i in range(size):
+            user_id = f"u{i:07d}"
+            group = rng.weighted_choice(names, shares)
+            self._group_of[user_id] = group
+            self._members[group].append(user_id)
+
+    def __len__(self) -> int:
+        return len(self._group_of)
+
+    @property
+    def user_ids(self) -> list[str]:
+        """All user ids (copy)."""
+        return list(self._group_of)
+
+    def group_of(self, user_id: str) -> str:
+        """The group a user belongs to."""
+        try:
+            return self._group_of[user_id]
+        except KeyError:
+            raise ConfigurationError(f"unknown user {user_id!r}") from None
+
+    def members(self, group: str) -> list[str]:
+        """All users of *group* (copy)."""
+        if group not in self._members:
+            raise ConfigurationError(f"unknown user group {group!r}")
+        return list(self._members[group])
+
+    def sample(self, rng: SeededRng, groups: Iterable[str] | None = None) -> str:
+        """Draw one user uniformly, optionally restricted to *groups*."""
+        if groups is None:
+            return rng.choice(list(self._group_of))
+        pool: list[str] = []
+        for group in groups:
+            pool.extend(self.members(group))
+        if not pool:
+            raise ConfigurationError("no users in the requested groups")
+        return rng.choice(pool)

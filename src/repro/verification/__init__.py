@@ -1,0 +1,25 @@
+"""Experiment verification (Section 1.6.4 — future work, implemented).
+
+The dissertation envisions "experiment verification, i.e., to identify
+upfront whether a defined experiment could negatively interfere with
+other planned or currently running experiments", building on the formal
+models behind Bifrost and Fenrir.  This package implements that vision
+as static analysis: strategies are verified against the application
+(versions deployed, checks well-formed, every phase has a safe failure
+path) and against each other (no two strategies touching the same
+service may run concurrently — the overlap Fenrir schedules around).
+"""
+
+from repro.verification.findings import Finding, Severity, VerificationReport
+from repro.verification.strategy import (
+    verify_strategies_compatible,
+    verify_strategy,
+)
+
+__all__ = [
+    "Finding",
+    "Severity",
+    "VerificationReport",
+    "verify_strategy",
+    "verify_strategies_compatible",
+]

@@ -1,0 +1,103 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.microservices.application import Application
+from repro.microservices.service import DownstreamCall, EndpointSpec, ServiceVersion
+from repro.simulation.latency import ConstantLatency, LogNormalLatency
+from repro.traffic.profile import UserGroup, diurnal_profile, flat_profile
+from repro.traffic.users import UserPopulation
+
+
+@pytest.fixture
+def groups() -> tuple[UserGroup, ...]:
+    """A small two-group population split."""
+    return (UserGroup("eu", 0.6), UserGroup("na", 0.4))
+
+
+@pytest.fixture
+def profile(groups):
+    """A 48-slot flat traffic profile (1000 requests/slot)."""
+    return flat_profile(48, 1000.0, groups)
+
+
+@pytest.fixture
+def week_profile():
+    """A realistic 7-day diurnal profile with the default groups."""
+    return diurnal_profile(days=7, seed=3)
+
+
+@pytest.fixture
+def population(groups) -> UserPopulation:
+    """200 users over the two test groups."""
+    return UserPopulation(200, groups, seed=5)
+
+
+def constant_endpoint(name: str, latency_ms: float = 10.0, calls=(), error_rate=0.0):
+    """An endpoint with deterministic latency — precise assertions."""
+    return EndpointSpec(name, ConstantLatency(latency_ms), error_rate, calls)
+
+
+@pytest.fixture
+def tiny_app() -> Application:
+    """frontend -> backend, both deterministic, one version each."""
+    app = Application("tiny")
+    app.deploy(
+        ServiceVersion(
+            "frontend",
+            "1.0.0",
+            {"home": constant_endpoint("home", 10.0, (DownstreamCall("backend", "api"),))},
+        ),
+        stable=True,
+    )
+    app.deploy(
+        ServiceVersion("backend", "1.0.0", {"api": constant_endpoint("api", 20.0)}),
+        stable=True,
+    )
+    return app
+
+
+@pytest.fixture
+def canary_app(tiny_app) -> Application:
+    """tiny_app plus a slower backend 2.0.0 canary candidate."""
+    tiny_app.deploy(
+        ServiceVersion("backend", "2.0.0", {"api": constant_endpoint("api", 30.0)})
+    )
+    return tiny_app
+
+
+def make_stochastic_app() -> Application:
+    """A three-service app with log-normal latencies (integration tests)."""
+    app = Application("stochastic")
+    app.deploy(
+        ServiceVersion(
+            "frontend",
+            "1.0.0",
+            {
+                "home": EndpointSpec(
+                    "home",
+                    LogNormalLatency(10.0, 0.2),
+                    calls=(
+                        DownstreamCall("auth", "check"),
+                        DownstreamCall("backend", "api", probability=0.8),
+                    ),
+                )
+            },
+        ),
+        stable=True,
+    )
+    app.deploy(
+        ServiceVersion(
+            "auth", "1.0.0", {"check": EndpointSpec("check", LogNormalLatency(5.0, 0.2))}
+        ),
+        stable=True,
+    )
+    app.deploy(
+        ServiceVersion(
+            "backend", "1.0.0", {"api": EndpointSpec("api", LogNormalLatency(20.0, 0.2))}
+        ),
+        stable=True,
+    )
+    return app

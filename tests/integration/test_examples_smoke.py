@@ -1,0 +1,58 @@
+"""Smoke tests: the fast example scripts run to completion.
+
+Examples are documentation that must not rot; these tests execute the
+quick ones in a subprocess and check their key output lines.  The two
+long-running examples (ab_inc_recommendation, experiment_scheduling) are
+exercised piecewise by the integration suite instead.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name: str, timeout: float = 240.0) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+@pytest.mark.slow
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "strategy outcome:" in out
+        assert "completed" in out
+
+    def test_topology_health(self):
+        out = run_example("topology_health.py")
+        assert "identified changes" in out
+        assert "nDCG5" in out
+
+    def test_release_workflow(self):
+        out = run_example("release_workflow.py")
+        assert "advisor:" in out
+        assert "verified, no findings" in out
+        assert "canceled at" in out
+        assert "Topological difference:" in out
+
+    def test_experiment_scheduling(self):
+        out = run_example("experiment_scheduling.py", timeout=420.0)
+        assert "algorithm comparison" in out
+        assert "Gantt" in out
+        assert "reevaluated fitness" in out
+
+    def test_ab_inc_recommendation(self):
+        out = run_example("ab_inc_recommendation.py", timeout=420.0)
+        assert "strategy outcome: completed" in out
+        assert "A/B winner:" in out
+        assert "change ranking" in out

@@ -1,0 +1,44 @@
+"""Regression guards for the evaluation scenarios.
+
+The ranking-quality benches evaluate against ground-truth relevance
+grades keyed by *change identities*.  If a scenario or the diff
+algorithm drifts, relevance keys silently stop matching and nDCG scores
+become meaningless — these tests pin the correspondence.
+"""
+
+import pytest
+
+from repro.topology.scenarios import scenario1, scenario2
+
+
+@pytest.mark.parametrize(
+    "maker,degraded",
+    [
+        (scenario1, False),
+        (scenario1, True),
+        (scenario2, False),
+        (scenario2, True),
+    ],
+    ids=["s1", "s1-degraded", "s2", "s2-degraded"],
+)
+class TestGroundTruthConsistency:
+    def test_every_relevance_key_matches_a_change(self, maker, degraded):
+        scenario = maker(degraded=degraded)
+        identities = {c.identity for c in scenario.diff().changes}
+        stale = set(scenario.relevance) - identities
+        assert not stale, f"stale ground-truth keys: {stale}"
+
+    def test_every_change_has_a_grade(self, maker, degraded):
+        scenario = maker(degraded=degraded)
+        identities = {c.identity for c in scenario.diff().changes}
+        ungraded = identities - set(scenario.relevance)
+        assert not ungraded, f"changes without ground truth: {ungraded}"
+
+    def test_highest_grade_present(self, maker, degraded):
+        scenario = maker(degraded=degraded)
+        assert max(scenario.relevance.values()) == 3.0
+
+    def test_scenario_is_deterministic(self, maker, degraded):
+        first = maker(degraded=degraded).diff().summary()
+        second = maker(degraded=degraded).diff().summary()
+        assert first == second

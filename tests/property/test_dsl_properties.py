@@ -1,0 +1,146 @@
+"""Property-based tests: DSL round-trip and strategy model invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bifrost.dsl import parse_strategy, strategy_to_dsl
+from repro.bifrost.model import (
+    Check,
+    Phase,
+    PhaseType,
+    Strategy,
+)
+from repro.bifrost.state_machine import StateMachine
+
+_names = st.from_regex(r"[a-z][a-z0-9\-]{0,14}", fullmatch=True)
+_versions = st.from_regex(r"[0-9]\.[0-9]\.[0-9]", fullmatch=True)
+_metrics = st.sampled_from(["response_time", "error", "throughput"])
+_aggregations = st.sampled_from(["mean", "median", "p95", "p99", "max"])
+_operators = st.sampled_from(["<", "<=", ">", ">="])
+
+
+@st.composite
+def checks(draw, service: str, version: str):
+    relative = draw(st.booleans())
+    return Check(
+        name=draw(_names),
+        service=service,
+        version=version,
+        metric=draw(_metrics),
+        aggregation=draw(_aggregations),
+        operator=draw(_operators),
+        threshold=None if relative else draw(
+            st.floats(min_value=0.001, max_value=1e4, allow_nan=False)
+        ),
+        baseline_version=draw(_versions) if relative else None,
+        tolerance=draw(st.floats(min_value=0.1, max_value=3.0, allow_nan=False)),
+        window_seconds=draw(st.floats(min_value=1.0, max_value=600.0)),
+        interval_seconds=draw(
+            st.one_of(st.none(), st.floats(min_value=0.5, max_value=120.0))
+        ),
+    )
+
+
+@st.composite
+def strategies(draw):
+    n_phases = draw(st.integers(min_value=1, max_value=4))
+    phase_names = draw(
+        st.lists(_names, min_size=n_phases, max_size=n_phases, unique=True)
+    )
+    service = draw(_names)
+    stable = draw(_versions)
+    experimental = draw(_versions)
+    phases = []
+    for index, name in enumerate(phase_names):
+        phase_type = draw(st.sampled_from(list(PhaseType)))
+        is_last = index == n_phases - 1
+        on_success = "complete" if is_last else phase_names[index + 1]
+        check_list = draw(
+            st.lists(checks(service, experimental), max_size=3)
+        )
+        # Unique check names within the phase.
+        seen = set()
+        unique_checks = []
+        for check in check_list:
+            if check.name not in seen:
+                seen.add(check.name)
+                unique_checks.append(check)
+        phases.append(
+            Phase(
+                name=name,
+                type=phase_type,
+                service=service,
+                stable_version=stable,
+                experimental_version=experimental,
+                second_version=(
+                    draw(_versions) if phase_type is PhaseType.AB_TEST else None
+                ),
+                fraction=draw(st.floats(min_value=0.01, max_value=0.99)),
+                steps=(
+                    tuple(
+                        sorted(
+                            draw(
+                                st.lists(
+                                    st.floats(min_value=0.0, max_value=1.0),
+                                    min_size=1,
+                                    max_size=4,
+                                )
+                            )
+                        )
+                    )
+                    if phase_type is PhaseType.GRADUAL_ROLLOUT
+                    else ()
+                ),
+                audience_groups=frozenset(
+                    draw(st.lists(_names, max_size=2))
+                ),
+                duration_seconds=draw(st.floats(min_value=1.0, max_value=1e5)),
+                check_interval_seconds=draw(st.floats(min_value=0.5, max_value=60.0)),
+                checks=tuple(unique_checks),
+                min_samples=draw(st.integers(min_value=0, max_value=10_000)),
+                on_success=on_success,
+                max_repeats=draw(st.integers(min_value=0, max_value=3)),
+            )
+        )
+    return Strategy(name=draw(_names), phases=tuple(phases))
+
+
+class TestDslRoundTrip:
+    @settings(max_examples=60, deadline=None)
+    @given(strategies())
+    def test_round_trip_is_identity(self, strategy):
+        text = strategy_to_dsl(strategy)
+        again = parse_strategy(text)
+        assert again == strategy
+
+    @settings(max_examples=30, deadline=None)
+    @given(strategies())
+    def test_serialization_is_stable(self, strategy):
+        once = strategy_to_dsl(strategy)
+        twice = strategy_to_dsl(parse_strategy(once))
+        assert once == twice
+
+
+class TestStateMachineProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(strategies())
+    def test_every_phase_reaches_a_terminal(self, strategy):
+        machine = StateMachine(strategy)
+        terminals = {"complete", "rollback", "abort"}
+        for phase in strategy.phases:
+            # Follow success transitions; they must terminate.
+            seen = set()
+            current = phase.name
+            while current not in terminals:
+                assert current not in seen, "success path cycles"
+                seen.add(current)
+                current = machine.next_state(current, "success")
+
+    @settings(max_examples=60, deadline=None)
+    @given(strategies())
+    def test_transitions_total(self, strategy):
+        machine = StateMachine(strategy)
+        for phase in strategy.phases:
+            for trigger in ("success", "failure", "inconclusive"):
+                target = machine.next_state(phase.name, trigger)
+                assert machine.state(target) is not None

@@ -1,0 +1,112 @@
+"""Property-based tests on interaction graphs, diffs, and rankings."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.topology.diff import DiffStatus, diff_graphs
+from repro.topology.generator import mutate_graph, random_interaction_graph
+from repro.topology.heuristics import all_heuristic_variants
+from repro.topology.ranking import evaluate_ranking, rank_changes
+
+graph_params = st.tuples(
+    st.integers(min_value=2, max_value=120),   # endpoints
+    st.integers(min_value=1, max_value=6),     # branching
+    st.integers(min_value=0, max_value=500),   # seed
+)
+
+
+class TestGraphInvariants:
+    @settings(max_examples=40, deadline=None)
+    @given(graph_params)
+    def test_generated_graph_is_consistent(self, params):
+        n, branching, seed = params
+        graph = random_interaction_graph(n, branching=branching, seed=seed)
+        assert graph.node_count == n
+        for caller, callee, stats in graph.edges():
+            assert graph.has_node(caller)
+            assert graph.has_node(callee)
+            assert callee in graph.successors(caller)
+            assert caller in graph.predecessors(callee)
+            assert stats.calls > 0
+
+    @settings(max_examples=40, deadline=None)
+    @given(graph_params)
+    def test_tree_has_single_root(self, params):
+        n, branching, seed = params
+        graph = random_interaction_graph(n, branching=branching, seed=seed)
+        assert len(graph.roots()) == 1
+
+    @settings(max_examples=40, deadline=None)
+    @given(graph_params)
+    def test_subtree_of_root_covers_graph(self, params):
+        n, branching, seed = params
+        graph = random_interaction_graph(n, branching=branching, seed=seed)
+        root = graph.roots()[0]
+        assert graph.subtree_size(root) == n
+
+
+class TestDiffInvariants:
+    @settings(max_examples=40, deadline=None)
+    @given(graph_params)
+    def test_self_diff_is_empty(self, params):
+        n, branching, seed = params
+        graph = random_interaction_graph(n, branching=branching, seed=seed)
+        diff = diff_graphs(graph, graph)
+        assert diff.changes == []
+        assert all(
+            entry.status is DiffStatus.UNCHANGED
+            for entry in diff.entries.values()
+        )
+
+    @settings(max_examples=30, deadline=None)
+    @given(graph_params, st.integers(min_value=1, max_value=20))
+    def test_diff_is_antisymmetric_on_adds_removes(self, params, changes):
+        n, branching, seed = params
+        base = random_interaction_graph(n, branching=branching, seed=seed)
+        variant = mutate_graph(base, changes=changes, seed=seed + 1)
+        forward = diff_graphs(base, variant).summary()
+        backward = diff_graphs(variant, base).summary()
+        assert forward["added"] == backward["removed"]
+        assert forward["removed"] == backward["added"]
+        assert forward["updated"] == backward["updated"]
+
+    @settings(max_examples=30, deadline=None)
+    @given(graph_params, st.integers(min_value=0, max_value=20))
+    def test_entries_cover_union_of_service_endpoints(self, params, changes):
+        n, branching, seed = params
+        base = random_interaction_graph(n, branching=branching, seed=seed)
+        variant = mutate_graph(base, changes=changes, seed=seed + 1)
+        diff = diff_graphs(base, variant)
+        union = base.service_endpoints() | variant.service_endpoints()
+        assert set(diff.entries) == union
+
+
+class TestRankingInvariants:
+    @settings(max_examples=20, deadline=None)
+    @given(graph_params, st.integers(min_value=1, max_value=15))
+    def test_rankings_are_permutations_of_changes(self, params, changes):
+        n, branching, seed = params
+        base = random_interaction_graph(n, branching=branching, seed=seed)
+        variant = mutate_graph(base, changes=changes, seed=seed + 1)
+        diff = diff_graphs(base, variant)
+        for heuristic in all_heuristic_variants().values():
+            ranking = rank_changes(diff, heuristic)
+            assert sorted(r.change.describe() for r in ranking) == sorted(
+                c.describe() for c in diff.changes
+            )
+            scores = [r.score for r in ranking]
+            assert scores == sorted(scores, reverse=True)
+
+    @settings(max_examples=20, deadline=None)
+    @given(graph_params, st.integers(min_value=1, max_value=10))
+    def test_ndcg_bounded_for_any_relevance(self, params, changes):
+        n, branching, seed = params
+        base = random_interaction_graph(n, branching=branching, seed=seed)
+        variant = mutate_graph(base, changes=changes, seed=seed + 1)
+        diff = diff_graphs(base, variant)
+        ranking = rank_changes(diff, all_heuristic_variants()["HY-abs"])
+        relevance = {
+            change.identity: float(i % 4) for i, change in enumerate(diff.changes)
+        }
+        score = evaluate_ranking(ranking, relevance, k=5)
+        assert 0.0 <= score <= 1.0 + 1e-9

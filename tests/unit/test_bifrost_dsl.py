@@ -1,0 +1,163 @@
+"""Unit tests for the experimentation-as-code DSL."""
+
+import pytest
+
+from repro.errors import DSLError
+from repro.bifrost.dsl import parse_strategy, strategy_to_dsl
+from repro.bifrost.model import PhaseType
+
+MINIMAL = """
+strategy my-exp
+  phase only
+    type canary
+    service svc
+    stable 1.0.0
+    experimental 2.0.0
+    fraction 0.1
+"""
+
+FULL = """
+strategy full-exp
+  description "a full multi-phase strategy"
+  phase canary
+    type canary
+    service svc
+    stable 1.0.0
+    experimental 2.0.0
+    fraction 0.05
+    duration 120
+    interval 10
+    groups eu, na
+    min_samples 50
+    check errors
+      metric error
+      aggregation mean
+      operator <=
+      threshold 0.02
+      window 60
+    check latency
+      metric response_time
+      aggregation p95
+      operator <=
+      baseline 1.0.0
+      tolerance 1.3
+      window 30
+    on_success ab
+    on_failure rollback
+    on_inconclusive repeat
+    max_repeats 2
+  phase ab
+    type ab_test
+    service svc
+    stable 1.0.0
+    experimental 2.0.0
+    second 2.1.0
+    fraction 0.5
+    duration 300
+    winner_metric response_time
+    winner_lower_is_better true
+    on_success rollout
+    on_failure rollback
+  phase rollout
+    type gradual_rollout
+    service svc
+    stable 1.0.0
+    experimental 2.0.0
+    steps 0.2, 0.5, 1.0
+    duration 180
+    on_success complete
+    on_failure rollback
+"""
+
+
+class TestParsing:
+    def test_minimal(self):
+        strategy = parse_strategy(MINIMAL)
+        assert strategy.name == "my-exp"
+        assert len(strategy.phases) == 1
+        assert strategy.entry.type is PhaseType.CANARY
+        assert strategy.entry.on_success == "complete"
+
+    def test_full_structure(self):
+        strategy = parse_strategy(FULL)
+        assert strategy.description == "a full multi-phase strategy"
+        assert [p.name for p in strategy.phases] == ["canary", "ab", "rollout"]
+
+    def test_checks_parsed(self):
+        strategy = parse_strategy(FULL)
+        canary = strategy.phase("canary")
+        assert len(canary.checks) == 2
+        errors = canary.checks[0]
+        assert errors.metric == "error"
+        assert errors.threshold == 0.02
+        latency = canary.checks[1]
+        assert latency.is_relative
+        assert latency.tolerance == 1.3
+        assert latency.version == "2.0.0"  # inherited from phase
+
+    def test_groups_parsed(self):
+        canary = parse_strategy(FULL).phase("canary")
+        assert canary.audience_groups == frozenset({"eu", "na"})
+
+    def test_steps_parsed(self):
+        rollout = parse_strategy(FULL).phase("rollout")
+        assert rollout.steps == (0.2, 0.5, 1.0)
+
+    def test_comments_and_blank_lines_ignored(self):
+        text = "# a comment\n" + MINIMAL + "\n# trailing comment\n"
+        assert parse_strategy(text).name == "my-exp"
+
+    def test_min_samples_and_repeats(self):
+        canary = parse_strategy(FULL).phase("canary")
+        assert canary.min_samples == 50
+        assert canary.max_repeats == 2
+
+
+class TestParsingErrors:
+    def test_empty(self):
+        with pytest.raises(DSLError):
+            parse_strategy("")
+
+    def test_missing_header(self):
+        with pytest.raises(DSLError):
+            parse_strategy("  phase p\n    type canary\n")
+
+    def test_unknown_phase_field(self):
+        bad = MINIMAL + "    bogus 1\n"
+        with pytest.raises(DSLError):
+            parse_strategy(bad)
+
+    def test_unknown_check_field(self):
+        bad = MINIMAL + "    check c\n      bogus 1\n"
+        with pytest.raises(DSLError):
+            parse_strategy(bad)
+
+    def test_unknown_type(self):
+        bad = MINIMAL.replace("type canary", "type yolo")
+        with pytest.raises(DSLError):
+            parse_strategy(bad)
+
+    def test_odd_indentation(self):
+        with pytest.raises(DSLError):
+            parse_strategy("strategy s\n   phase p\n")
+
+    def test_check_outside_phase(self):
+        with pytest.raises(DSLError):
+            parse_strategy("strategy s\n  description x\n    check c\n")
+
+
+class TestRoundTrip:
+    def test_minimal_round_trip(self):
+        strategy = parse_strategy(MINIMAL)
+        again = parse_strategy(strategy_to_dsl(strategy))
+        assert again == strategy
+
+    def test_full_round_trip(self):
+        strategy = parse_strategy(FULL)
+        again = parse_strategy(strategy_to_dsl(strategy))
+        assert again == strategy
+
+    def test_serialization_contains_checks(self):
+        text = strategy_to_dsl(parse_strategy(FULL))
+        assert "check errors" in text
+        assert "baseline 1.0.0" in text

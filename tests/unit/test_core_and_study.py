@@ -1,0 +1,151 @@
+"""Unit tests for the core framework package and the Chapter 2 study."""
+
+import pytest
+
+from repro.errors import ConfigurationError, ValidationError
+from repro.core.experiment import (
+    Experiment,
+    ExperimentClass,
+    ExperimentPractice,
+    TYPICAL_DURATION_HOURS,
+)
+from repro.core.lifecycle import ExperimentLifecycle, LifecyclePhase
+from repro.study.data import ADOPTION, COLUMNS, PUBLISHED_TABLES, published_table
+from repro.study.respondents import assign_table, generate_respondents
+from repro.study.tables import format_table, recompute_table, table_deviation
+
+
+class TestExperimentModel:
+    def test_ab_test_is_business_driven(self):
+        experiment = Experiment("e", "svc", ExperimentPractice.AB_TEST)
+        assert experiment.experiment_class is ExperimentClass.BUSINESS_DRIVEN
+
+    @pytest.mark.parametrize(
+        "practice",
+        [
+            ExperimentPractice.CANARY_RELEASE,
+            ExperimentPractice.DARK_LAUNCH,
+            ExperimentPractice.GRADUAL_ROLLOUT,
+        ],
+    )
+    def test_qa_practices_are_regression_driven(self, practice):
+        experiment = Experiment("e", "svc", practice)
+        assert experiment.experiment_class is ExperimentClass.REGRESSION_DRIVEN
+
+    def test_typical_durations_ordered(self):
+        regression = TYPICAL_DURATION_HOURS[ExperimentClass.REGRESSION_DRIVEN]
+        business = TYPICAL_DURATION_HOURS[ExperimentClass.BUSINESS_DRIVEN]
+        assert business[0] > regression[0]  # business runs much longer
+
+    def test_to_scheduling_spec(self):
+        experiment = Experiment(
+            "e", "svc", ExperimentPractice.CANARY_RELEASE,
+            required_samples=500,
+            preferred_groups=frozenset({"eu"}),
+        )
+        spec = experiment.to_scheduling_spec(earliest_start=3)
+        assert spec.name == "e"
+        assert spec.required_samples == 500
+        assert spec.preferred_groups == frozenset({"eu"})
+        assert spec.earliest_start == 3
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            Experiment("", "svc", ExperimentPractice.AB_TEST)
+        with pytest.raises(ConfigurationError):
+            Experiment("e", "svc", ExperimentPractice.AB_TEST, required_samples=0)
+
+
+class TestLifecycle:
+    def test_happy_path(self):
+        lifecycle = ExperimentLifecycle("e")
+        lifecycle.advance(LifecyclePhase.PLANNED, artifact="schedule")
+        lifecycle.advance(LifecyclePhase.EXECUTING)
+        lifecycle.advance(LifecyclePhase.ANALYZED)
+        lifecycle.advance(LifecyclePhase.CONCLUDED)
+        assert lifecycle.phase is LifecyclePhase.CONCLUDED
+        assert lifecycle.artifacts["planned"] == "schedule"
+        assert not lifecycle.canceled
+
+    def test_skipping_rejected(self):
+        lifecycle = ExperimentLifecycle("e")
+        with pytest.raises(ValidationError):
+            lifecycle.advance(LifecyclePhase.EXECUTING)
+
+    def test_regression_rejected(self):
+        lifecycle = ExperimentLifecycle("e")
+        lifecycle.advance(LifecyclePhase.PLANNED)
+        with pytest.raises(ValidationError):
+            lifecycle.advance(LifecyclePhase.DESIGNED)
+
+    def test_cancel_from_any_phase(self):
+        lifecycle = ExperimentLifecycle("e")
+        lifecycle.advance(LifecyclePhase.PLANNED)
+        lifecycle.cancel()
+        assert lifecycle.phase is LifecyclePhase.CONCLUDED
+        assert lifecycle.canceled
+
+    def test_history_recorded(self):
+        lifecycle = ExperimentLifecycle("e")
+        lifecycle.advance(LifecyclePhase.PLANNED)
+        assert lifecycle.history == [LifecyclePhase.DESIGNED, LifecyclePhase.PLANNED]
+
+
+class TestStudyData:
+    def test_all_expected_tables_present(self):
+        assert set(PUBLISHED_TABLES) == {"2.2", "2.3", "2.4", "2.6", "2.7", "2.8"}
+
+    def test_single_choice_columns_sum_to_about_100(self):
+        for table_id in ("2.4", "2.6"):
+            table = published_table(table_id)
+            for column in COLUMNS:
+                total = sum(
+                    table.percentage(option, column) for option in table.rows
+                )
+                assert 95 <= total <= 105, f"{table_id}/{column}: {total}"
+
+    def test_unknown_table(self):
+        with pytest.raises(ConfigurationError):
+            published_table("9.9")
+
+    def test_adoption_headline_numbers(self):
+        assert ADOPTION["regression_driven"] == 37
+        assert ADOPTION["business_driven"] == 23
+
+
+class TestSyntheticRespondents:
+    def test_demographics_match(self):
+        respondents = generate_respondents()
+        assert len(respondents) == 187
+        assert sum(r.app_type == "web" for r in respondents) == 105
+        assert sum(r.company_size == "sme" for r in respondents) == 99
+        assert sum(r.company_size == "startup" for r in respondents) == 35
+
+    def test_deterministic(self):
+        a = generate_respondents(seed=1)
+        b = generate_respondents(seed=1)
+        assert [r.company_size for r in a] == [r.company_size for r in b]
+
+    @pytest.mark.parametrize("table_id", sorted(PUBLISHED_TABLES))
+    def test_recomputed_tables_match_published(self, table_id):
+        table = published_table(table_id)
+        respondents = generate_respondents()
+        participants = assign_table(respondents, table)
+        assert len(participants) == table.sample_sizes["all"]
+        recomputed = recompute_table(table, participants)
+        assert table_deviation(table, recomputed) <= 1.0  # rounding only
+
+    def test_single_choice_tables_have_one_answer_each(self):
+        table = published_table("2.6")
+        respondents = generate_respondents()
+        participants = assign_table(respondents, table)
+        for respondent in participants:
+            assert len(respondent.answers[table.table_id]) == 1
+
+    def test_format_table_renders(self):
+        table = published_table("2.3")
+        respondents = generate_respondents()
+        participants = assign_table(respondents, table)
+        text = format_table(table, recompute_table(table, participants))
+        assert "Table 2.3" in text
+        assert "monitoring" in text

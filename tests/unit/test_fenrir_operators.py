@@ -1,0 +1,180 @@
+"""Unit tests for Fenrir's search operators."""
+
+import pytest
+
+from repro.fenrir.fitness import evaluate
+from repro.fenrir.model import SchedulingProblem
+from repro.fenrir.operators import (
+    crossover,
+    mutate_gene,
+    pack_repair,
+    random_gene,
+    random_schedule,
+    repair_gene,
+    required_fraction,
+)
+from repro.fenrir.schedule import Gene, Schedule
+from repro.simulation.rng import SeededRng
+from tests.unit.test_fenrir_model import make_spec
+
+
+@pytest.fixture
+def problem(profile):
+    specs = [make_spec(f"e{i}", required_samples=800) for i in range(4)]
+    return SchedulingProblem(profile, specs)
+
+
+class TestRequiredFraction:
+    def test_exact_value(self, problem):
+        spec = problem.experiments[0]
+        # 5 slots * 1000 * 0.6 = 3000 volume; 800 needed -> 0.2667.
+        fraction = required_fraction(problem, spec, 0, 5, frozenset({"eu"}))
+        assert fraction == pytest.approx(800 / 3000)
+
+    def test_infinite_when_no_traffic(self, problem):
+        spec = problem.experiments[0]
+        assert required_fraction(problem, spec, 48, 5, frozenset({"eu"})) == float("inf")
+
+
+class TestRandomGene:
+    def test_gene_within_bounds(self, problem):
+        rng = SeededRng(1)
+        for spec in problem.experiments:
+            gene = random_gene(problem, spec, rng)
+            assert gene.start >= spec.earliest_start
+            assert spec.min_duration_slots <= gene.duration
+
+    def test_gene_usually_sample_feasible(self, problem):
+        rng = SeededRng(2)
+        spec = problem.experiments[0]
+        feasible = 0
+        for _ in range(20):
+            gene = random_gene(problem, spec, rng)
+            schedule = Schedule(
+                problem,
+                [gene] + [random_gene(problem, s, rng) for s in problem.experiments[1:]],
+            )
+            if schedule.samples_collected(0) >= spec.required_samples:
+                feasible += 1
+        assert feasible >= 18
+
+    def test_preferred_groups_mostly_respected(self, profile):
+        spec = make_spec(required_samples=100, preferred_groups=frozenset({"eu"}))
+        problem = SchedulingProblem(profile, [spec])
+        rng = SeededRng(3)
+        hits = sum(
+            "eu" in random_gene(problem, spec, rng).groups for _ in range(30)
+        )
+        assert hits == 30  # preferred groups always included
+
+
+class TestRepairGene:
+    def test_clamps_fields(self, problem):
+        spec = problem.experiments[0]
+        broken = Gene(100, 99, 1.0, frozenset({"eu"}))
+        repaired = repair_gene(problem, spec, broken)
+        assert repaired.end <= problem.horizon
+        assert repaired.duration <= spec.max_duration_slots
+        assert repaired.fraction <= spec.max_traffic_fraction
+
+    def test_restores_sample_feasibility(self, problem):
+        spec = problem.experiments[0]
+        skimpy = Gene(0, 2, 0.01, frozenset({"eu"}))
+        repaired = repair_gene(problem, spec, skimpy)
+        schedule = Schedule(
+            problem,
+            [repaired]
+            + [Gene(20, 5, 0.3, frozenset({"na"}))] * (len(problem.experiments) - 1),
+        )
+        assert schedule.samples_collected(0) >= spec.required_samples
+
+    def test_widens_groups_as_last_resort(self, profile):
+        # Samples impossible on 'na' alone even at max fraction/duration.
+        spec = make_spec(
+            required_samples=12_000,
+            max_duration_slots=10,
+            max_traffic_fraction=0.5,
+        )
+        problem = SchedulingProblem(profile, [spec])
+        gene = Gene(0, 10, 0.5, frozenset({"na"}))
+        repaired = repair_gene(problem, spec, gene)
+        assert len(repaired.groups) > 1
+
+
+class TestMutation:
+    def test_produces_valid_gene(self, problem):
+        rng = SeededRng(4)
+        spec = problem.experiments[0]
+        gene = random_gene(problem, spec, rng)
+        for _ in range(50):
+            gene = mutate_gene(problem, spec, gene, rng)
+            assert 0 <= gene.start < problem.horizon
+            assert gene.duration >= 1
+            assert 0 < gene.fraction <= 1
+            assert gene.groups
+
+    def test_mutation_changes_something_eventually(self, problem):
+        rng = SeededRng(5)
+        spec = problem.experiments[0]
+        gene = random_gene(problem, spec, rng)
+        assert any(
+            mutate_gene(problem, spec, gene, rng) != gene for _ in range(10)
+        )
+
+
+class TestCrossover:
+    def test_children_mix_parents(self, problem):
+        rng = SeededRng(6)
+        a = random_schedule(problem, rng, packed=False)
+        b = random_schedule(problem, rng, packed=False)
+        child1, child2 = crossover(a, b, rng)
+        for i in range(len(a.genes)):
+            assert child1.genes[i] in (a.genes[i], b.genes[i])
+            assert child2.genes[i] in (a.genes[i], b.genes[i])
+
+    def test_children_complementary(self, problem):
+        rng = SeededRng(7)
+        a = random_schedule(problem, rng, packed=False)
+        b = random_schedule(problem, rng, packed=False)
+        child1, child2 = crossover(a, b, rng)
+        for i in range(len(a.genes)):
+            pair = {child1.genes[i], child2.genes[i]}
+            assert pair == {a.genes[i], b.genes[i]}
+
+    def test_single_gene_copies(self, profile):
+        problem = SchedulingProblem(profile, [make_spec(required_samples=10)])
+        rng = SeededRng(8)
+        a = random_schedule(problem, rng, packed=False)
+        b = random_schedule(problem, rng, packed=False)
+        child1, child2 = crossover(a, b, rng)
+        assert child1.genes == a.genes
+        assert child2.genes == b.genes
+
+
+class TestPackRepair:
+    def test_removes_overlaps_when_room_exists(self, problem):
+        genes = [Gene(0, 5, 0.5, frozenset({"eu"})) for _ in range(4)]
+        schedule = Schedule(problem, genes)
+        packed = pack_repair(schedule, SeededRng(9))
+        usage = packed.group_usage()
+        assert all(v <= 1.0 + 1e-9 for v in usage.values())
+
+    def test_respects_locked_genes(self, problem):
+        genes = [Gene(i, 5, 0.4, frozenset({"eu"})) for i in range(4)]
+        schedule = Schedule(problem, genes)
+        packed = pack_repair(schedule, SeededRng(10), locked=frozenset({0, 1}))
+        assert packed.genes[0] == genes[0]
+        assert packed.genes[1] == genes[1]
+
+    def test_packed_random_schedules_usually_valid(self, problem):
+        rng = SeededRng(11)
+        valid = sum(
+            evaluate(random_schedule(problem, rng)).valid for _ in range(20)
+        )
+        assert valid >= 15
+
+    def test_preserves_gene_count(self, problem):
+        rng = SeededRng(12)
+        schedule = random_schedule(problem, rng, packed=False)
+        packed = pack_repair(schedule, rng)
+        assert len(packed.genes) == len(schedule.genes)

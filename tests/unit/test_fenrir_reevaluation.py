@@ -1,0 +1,106 @@
+"""Unit tests for schedule reevaluation."""
+
+import pytest
+
+from repro.fenrir import Fenrir, GeneticAlgorithm, LocalSearch, reevaluate
+from repro.fenrir.reevaluation import build_reevaluation
+from tests.unit.test_fenrir_model import make_spec
+
+
+@pytest.fixture
+def running_schedule(profile):
+    specs = [
+        make_spec("done", required_samples=400, earliest_start=0),
+        make_spec("running", required_samples=400, earliest_start=0),
+        make_spec("future", required_samples=400, earliest_start=5),
+        make_spec("doomed", required_samples=400, earliest_start=5),
+    ]
+    result = Fenrir(GeneticAlgorithm(population_size=12)).schedule(
+        profile, specs, budget=500, seed=3
+    )
+    return result.schedule
+
+
+def _now_between(schedule, running_name, future_name):
+    """A slot where `running` is active but `future` hasn't started."""
+    running = schedule.gene_of(running_name)
+    return running.start + max(1, running.duration // 2)
+
+
+class TestBuildReevaluation:
+    def test_finished_dropped(self, running_schedule):
+        done_gene = running_schedule.gene_of("done")
+        now = done_gene.end + 1
+        plan = build_reevaluation(running_schedule, now_slot=now)
+        names = [s.name for s in plan.problem.experiments]
+        if done_gene.end <= now:
+            assert "done" not in names
+            assert "done" in plan.finished
+
+    def test_canceled_dropped(self, running_schedule):
+        plan = build_reevaluation(
+            running_schedule, now_slot=0, canceled={"doomed"}
+        )
+        names = [s.name for s in plan.problem.experiments]
+        assert "doomed" not in names
+        assert plan.canceled == ("doomed",)
+
+    def test_running_locked_verbatim(self, running_schedule):
+        running = running_schedule.gene_of("running")
+        now = running.start + 1
+        plan = build_reevaluation(running_schedule, now_slot=now)
+        names = [s.name for s in plan.problem.experiments]
+        if running.end > now:
+            index = names.index("running")
+            assert index in plan.locked
+            assert plan.initial.genes[index] == running
+
+    def test_new_experiments_added(self, running_schedule):
+        new = [make_spec("fresh", required_samples=300)]
+        plan = build_reevaluation(running_schedule, now_slot=2, new_experiments=new)
+        names = [s.name for s in plan.problem.experiments]
+        assert "fresh" in names
+        assert plan.added == ("fresh",)
+
+    def test_future_experiments_not_pushed_into_past(self, running_schedule):
+        plan = build_reevaluation(running_schedule, now_slot=10)
+        for index, spec in enumerate(plan.problem.experiments):
+            if index not in plan.locked:
+                assert spec.earliest_start >= 10
+
+
+class TestReevaluate:
+    def test_produces_valid_schedule(self, running_schedule):
+        plan, result = reevaluate(
+            running_schedule,
+            now_slot=4,
+            algorithm=GeneticAlgorithm(population_size=12),
+            new_experiments=[make_spec("fresh", required_samples=300)],
+            budget=500,
+            seed=1,
+        )
+        assert result.best_evaluation.valid
+
+    def test_locked_genes_survive_optimization(self, running_schedule):
+        plan, result = reevaluate(
+            running_schedule,
+            now_slot=4,
+            algorithm=LocalSearch(stall_limit=40),
+            budget=300,
+            seed=2,
+        )
+        for index in plan.locked:
+            assert result.best_schedule.genes[index] == plan.initial.genes[index]
+
+    def test_warm_started_search_at_least_as_good_as_initial(self, running_schedule):
+        from repro.fenrir.fitness import evaluate
+
+        plan, result = reevaluate(
+            running_schedule,
+            now_slot=4,
+            algorithm=LocalSearch(stall_limit=40),
+            budget=300,
+            seed=3,
+        )
+        initial_eval = evaluate(plan.initial)
+        assert result.best_evaluation.penalized >= initial_eval.penalized - 1e-9

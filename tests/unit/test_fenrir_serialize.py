@@ -1,0 +1,67 @@
+"""Unit tests for schedule serialization."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.fenrir import Fenrir, GeneticAlgorithm, random_experiments
+from repro.fenrir.fitness import evaluate
+from repro.fenrir.serialize import (
+    problem_from_dict,
+    problem_to_dict,
+    schedule_from_dict,
+    schedule_from_json,
+    schedule_to_dict,
+    schedule_to_json,
+)
+from repro.traffic.profile import diurnal_profile
+
+
+@pytest.fixture(scope="module")
+def solved():
+    profile = diurnal_profile(days=3, seed=5)
+    experiments = random_experiments(profile, 5, seed=6)
+    return Fenrir(GeneticAlgorithm(population_size=12)).schedule(
+        profile, experiments, budget=400, seed=1
+    )
+
+
+class TestProblemRoundTrip:
+    def test_round_trip_preserves_structure(self, solved):
+        rebuilt = problem_from_dict(problem_to_dict(solved.problem))
+        assert rebuilt.horizon == solved.problem.horizon
+        assert [s.name for s in rebuilt.experiments] == [
+            s.name for s in solved.problem.experiments
+        ]
+        assert rebuilt.profile.volumes() == solved.problem.profile.volumes()
+
+    def test_malformed_document_rejected(self):
+        with pytest.raises(ValidationError):
+            problem_from_dict({"experiments": []})
+
+
+class TestScheduleRoundTrip:
+    def test_round_trip_preserves_genes(self, solved):
+        rebuilt = schedule_from_dict(schedule_to_dict(solved.schedule))
+        assert rebuilt.genes == solved.schedule.genes
+
+    def test_round_trip_preserves_fitness(self, solved):
+        rebuilt = schedule_from_dict(schedule_to_dict(solved.schedule))
+        assert evaluate(rebuilt).fitness == pytest.approx(
+            evaluate(solved.schedule).fitness
+        )
+
+    def test_json_round_trip(self, solved):
+        rebuilt = schedule_from_json(schedule_to_json(solved.schedule))
+        assert rebuilt.genes == solved.schedule.genes
+
+    def test_gene_order_independent(self, solved):
+        document = schedule_to_dict(solved.schedule)
+        document["genes"] = list(reversed(document["genes"]))
+        rebuilt = schedule_from_dict(document)
+        assert rebuilt.genes == solved.schedule.genes
+
+    def test_missing_gene_rejected(self, solved):
+        document = schedule_to_dict(solved.schedule)
+        document["genes"] = document["genes"][:-1]
+        with pytest.raises(ValidationError):
+            schedule_from_dict(document)

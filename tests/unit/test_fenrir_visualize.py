@@ -1,0 +1,78 @@
+"""Unit tests for schedule visualization."""
+
+import pytest
+
+from repro.fenrir.model import SchedulingProblem
+from repro.fenrir.schedule import Gene, Schedule
+from repro.fenrir.visualize import schedule_gantt, utilization_sparkline
+from tests.unit.test_fenrir_model import make_spec
+
+
+@pytest.fixture
+def small_schedule(profile):
+    specs = [
+        make_spec("alpha", required_samples=100),
+        make_spec("beta", required_samples=100),
+    ]
+    problem = SchedulingProblem(profile, specs)
+    return Schedule(
+        problem,
+        [
+            Gene(0, 5, 0.5, frozenset({"eu"})),
+            Gene(10, 8, 0.125, frozenset({"na"})),
+        ],
+    )
+
+
+class TestGantt:
+    def test_one_row_per_experiment(self, small_schedule):
+        lines = schedule_gantt(small_schedule).splitlines()
+        assert len(lines) == 3  # header + 2 experiments
+        assert lines[1].startswith("alpha")
+        assert lines[2].startswith("beta")
+
+    def test_occupancy_marks_only_active_slots(self, small_schedule):
+        lines = schedule_gantt(small_schedule, width=48).splitlines()
+        alpha_row = lines[1]
+        strip = alpha_row[len("alpha  "):len("alpha  ") + 48]
+        assert strip[0] != " "      # slot 0 occupied
+        assert strip[20] == " "     # slot 20 free
+
+    def test_fraction_affects_glyph_intensity(self, small_schedule):
+        lines = schedule_gantt(small_schedule, width=48).splitlines()
+        alpha_glyph = lines[1][len("alpha  ")]
+        beta_glyph = lines[2][len("beta ") + 2 + 10]
+        # alpha (0.5) should render denser than beta (0.125).
+        blocks = " ▁▂▃▄▅▆▇█"
+        assert blocks.index(alpha_glyph) > blocks.index(beta_glyph)
+
+    def test_annotations_present(self, small_schedule):
+        text = schedule_gantt(small_schedule)
+        assert "f=0.50" in text
+        assert "eu" in text
+
+    def test_wide_horizon_rescaled(self, week_profile):
+        specs = [make_spec("x", required_samples=100, max_duration_slots=24)]
+        problem = SchedulingProblem(week_profile, specs)
+        schedule = Schedule(problem, [Gene(0, 10, 0.2, frozenset({"eu"}))])
+        lines = schedule_gantt(schedule, width=40).splitlines()
+        assert all(len(line) < 120 for line in lines)
+
+
+class TestSparkline:
+    @staticmethod
+    def _cells(line: str) -> str:
+        # The sparkline is everything before the "(peak ...)" annotation;
+        # blank cells are significant, so split on the marker itself.
+        return line[: line.index("   (peak")]
+
+    def test_length_scales_to_width(self, small_schedule):
+        cells = self._cells(utilization_sparkline(small_schedule, width=24))
+        assert len(cells) <= 24
+
+    def test_empty_slots_blank(self, small_schedule):
+        cells = self._cells(utilization_sparkline(small_schedule, width=48))
+        assert cells[30] == " "  # nothing scheduled late in horizon
+
+    def test_peak_reported(self, small_schedule):
+        assert "peak" in utilization_sparkline(small_schedule)

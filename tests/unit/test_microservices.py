@@ -1,0 +1,289 @@
+"""Unit tests for the microservice substrate."""
+
+import pytest
+
+from repro.errors import ConfigurationError, ExecutionError
+from repro.microservices.application import Application
+from repro.microservices.faults import FaultInjector
+from repro.microservices.generator import random_application
+from repro.microservices.runtime import LoadTracker, RoutingDecision, Runtime
+from repro.microservices.service import (
+    DownstreamCall,
+    EndpointSpec,
+    Service,
+    ServiceVersion,
+)
+from repro.simulation.latency import ConstantLatency
+from repro.traffic.workload import Request
+from tests.conftest import constant_endpoint
+
+
+def make_request(entry="frontend.home", user="u1", group="eu", t=0.0) -> Request:
+    return Request(
+        request_id="r1",
+        timestamp=t,
+        user_id=user,
+        group=group,
+        entry=entry,
+        headers={"user-id": user},
+    )
+
+
+class TestServiceModel:
+    def test_downstream_call_target(self):
+        call = DownstreamCall("catalog", "list")
+        assert call.target == "catalog.list"
+
+    def test_invalid_probability(self):
+        with pytest.raises(ConfigurationError):
+            DownstreamCall("a", "b", probability=0.0)
+
+    def test_endpoint_error_rate_bounds(self):
+        with pytest.raises(ConfigurationError):
+            EndpointSpec("e", error_rate=1.5)
+
+    def test_version_requires_endpoints(self):
+        with pytest.raises(ConfigurationError):
+            ServiceVersion("svc", "1.0", {})
+
+    def test_endpoint_key_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ServiceVersion("svc", "1.0", {"x": constant_endpoint("y")})
+
+    def test_total_capacity(self):
+        version = ServiceVersion(
+            "svc", "1.0", {"e": constant_endpoint("e")}, capacity_rps=100, instances=3
+        )
+        assert version.total_capacity_rps == 300
+
+    def test_with_endpoint_replaces(self):
+        version = ServiceVersion("svc", "1.0", {"e": constant_endpoint("e", 10)})
+        updated = version.with_endpoint(constant_endpoint("e", 20))
+        assert updated.endpoint("e").latency.value_ms == 20.0
+        assert version.endpoint("e").latency.value_ms == 10.0
+
+
+class TestService:
+    def test_first_deploy_becomes_stable(self):
+        service = Service("svc")
+        service.deploy(ServiceVersion("svc", "1.0", {"e": constant_endpoint("e")}))
+        assert service.stable_version == "1.0"
+
+    def test_promote(self):
+        service = Service("svc")
+        service.deploy(ServiceVersion("svc", "1.0", {"e": constant_endpoint("e")}))
+        service.deploy(ServiceVersion("svc", "2.0", {"e": constant_endpoint("e")}))
+        service.promote("2.0")
+        assert service.stable_version == "2.0"
+
+    def test_promote_unknown_rejected(self):
+        service = Service("svc")
+        service.deploy(ServiceVersion("svc", "1.0", {"e": constant_endpoint("e")}))
+        with pytest.raises(ConfigurationError):
+            service.promote("9.9")
+
+    def test_cannot_undeploy_stable(self):
+        service = Service("svc")
+        service.deploy(ServiceVersion("svc", "1.0", {"e": constant_endpoint("e")}))
+        with pytest.raises(ConfigurationError):
+            service.undeploy("1.0")
+
+    def test_foreign_version_rejected(self):
+        service = Service("svc")
+        with pytest.raises(ConfigurationError):
+            service.deploy(ServiceVersion("other", "1.0", {"e": constant_endpoint("e")}))
+
+
+class TestApplication:
+    def test_wiring_validation_passes(self, tiny_app):
+        assert tiny_app.validate_wiring() == []
+
+    def test_wiring_detects_missing_service(self):
+        app = Application()
+        app.deploy(
+            ServiceVersion(
+                "frontend",
+                "1.0",
+                {"home": constant_endpoint("home", 10, (DownstreamCall("ghost", "x"),))},
+            )
+        )
+        problems = app.validate_wiring()
+        assert len(problems) == 1
+        assert "ghost" in problems[0]
+
+    def test_wiring_detects_missing_endpoint(self, tiny_app):
+        version = tiny_app.resolve("frontend")
+        tiny_app.deploy(
+            version.with_endpoint(
+                constant_endpoint("bad", 1, (DownstreamCall("backend", "nope"),))
+            )
+        )
+        assert any("nope" in p for p in tiny_app.validate_wiring())
+
+    def test_resolve_defaults_to_stable(self, canary_app):
+        assert canary_app.resolve("backend").version == "1.0.0"
+        assert canary_app.resolve("backend", "2.0.0").version == "2.0.0"
+
+    def test_unknown_service(self, tiny_app):
+        with pytest.raises(ConfigurationError):
+            tiny_app.service("nope")
+
+    def test_endpoint_count(self, tiny_app):
+        assert tiny_app.endpoint_count() == 2
+
+
+class TestLoadTracker:
+    def test_rate_computation(self):
+        tracker = LoadTracker(window_seconds=10.0)
+        for t in range(10):
+            load = tracker.observe("svc", "1.0", float(t), capacity_rps=1.0)
+        assert load == pytest.approx(1.0)
+
+    def test_window_expiry(self):
+        tracker = LoadTracker(window_seconds=1.0)
+        tracker.observe("svc", "1.0", 0.0, 1.0)
+        load = tracker.current_load("svc", "1.0", 100.0, 1.0)
+        assert load == 0.0
+
+    def test_versions_tracked_separately(self):
+        tracker = LoadTracker(10.0)
+        tracker.observe("svc", "1.0", 0.0, 1.0)
+        assert tracker.current_load("svc", "2.0", 0.0, 1.0) == 0.0
+
+    def test_invalid_window(self):
+        with pytest.raises(ExecutionError):
+            LoadTracker(0.0)
+
+
+class TestRuntime:
+    def test_deterministic_latency_sums(self, tiny_app):
+        runtime = Runtime(tiny_app, seed=1)
+        outcome = runtime.execute(make_request())
+        # frontend 10ms + backend 20ms, no proxies.
+        assert outcome.duration_ms == pytest.approx(30.0)
+
+    def test_trace_structure(self, tiny_app):
+        runtime = Runtime(tiny_app, seed=1)
+        outcome = runtime.execute(make_request())
+        trace = outcome.trace
+        assert trace.root.service == "frontend"
+        children = trace.children(trace.root.span_id)
+        assert [c.service for c in children] == ["backend"]
+
+    def test_metrics_recorded(self, tiny_app):
+        runtime = Runtime(tiny_app, seed=1)
+        runtime.execute(make_request())
+        assert runtime.monitor.throughput("backend", "1.0.0", 0, 1) == 1.0
+
+    def test_clock_advances_to_request_time(self, tiny_app):
+        runtime = Runtime(tiny_app, seed=1)
+        runtime.execute(make_request(t=42.0))
+        assert runtime.clock.now == 42.0
+
+    def test_bad_entry_format(self, tiny_app):
+        runtime = Runtime(tiny_app, seed=1)
+        with pytest.raises(ExecutionError):
+            runtime.execute(make_request(entry="frontendhome"))
+
+    def test_error_propagates_to_root(self, tiny_app):
+        backend = tiny_app.resolve("backend")
+        backend.endpoints["api"] = EndpointSpec(
+            "api", ConstantLatency(20.0), error_rate=1.0
+        )
+        runtime = Runtime(tiny_app, seed=1)
+        outcome = runtime.execute(make_request())
+        assert outcome.error
+        assert outcome.trace.root.error
+
+    def test_forced_router_decision(self, canary_app):
+        class ToCanary:
+            def route(self, request, service):
+                if service == "backend":
+                    return RoutingDecision(version="2.0.0", proxy_hops=1)
+                return RoutingDecision()
+
+        runtime = Runtime(canary_app, router=ToCanary(), seed=1, proxy_overhead_ms=2.0)
+        outcome = runtime.execute(make_request())
+        # frontend 10 + backend-canary 30 + 1 proxy hop 2ms.
+        assert outcome.duration_ms == pytest.approx(42.0)
+        assert ("backend", "2.0.0") in outcome.version_path
+
+    def test_shadow_versions_traced_but_not_timed(self, canary_app):
+        class WithShadow:
+            def route(self, request, service):
+                if service == "backend":
+                    return RoutingDecision(shadow_versions=("2.0.0",))
+                return RoutingDecision()
+
+        runtime = Runtime(canary_app, router=WithShadow(), seed=1)
+        outcome = runtime.execute(make_request())
+        assert outcome.duration_ms == pytest.approx(30.0)  # shadow free
+        shadow_spans = [
+            s for s in outcome.trace.spans if s.tags.get("shadow") == "true"
+        ]
+        assert len(shadow_spans) == 1
+        assert shadow_spans[0].version == "2.0.0"
+
+    def test_cycle_detection(self):
+        app = Application()
+        app.deploy(
+            ServiceVersion(
+                "a", "1.0",
+                {"x": constant_endpoint("x", 1.0, (DownstreamCall("a", "x"),))},
+            )
+        )
+        runtime = Runtime(app, seed=1)
+        with pytest.raises(ExecutionError):
+            runtime.execute(make_request(entry="a.x"))
+
+
+class TestFaultInjector:
+    def test_latency_degradation(self, tiny_app):
+        injector = FaultInjector(tiny_app)
+        injector.degrade("backend", "1.0.0", "api", latency_factor=3.0)
+        runtime = Runtime(tiny_app, seed=1)
+        outcome = runtime.execute(make_request())
+        assert outcome.duration_ms == pytest.approx(10.0 + 60.0)
+
+    def test_error_injection(self, tiny_app):
+        injector = FaultInjector(tiny_app)
+        injector.degrade("backend", "1.0.0", "api", added_error_rate=1.0)
+        runtime = Runtime(tiny_app, seed=1)
+        assert runtime.execute(make_request()).error
+
+    def test_restore_all(self, tiny_app):
+        injector = FaultInjector(tiny_app)
+        injector.degrade("backend", "1.0.0", "api", latency_factor=3.0)
+        assert injector.restore_all() == 1
+        runtime = Runtime(tiny_app, seed=1)
+        assert runtime.execute(make_request()).duration_ms == pytest.approx(30.0)
+
+    def test_invalid_factor(self, tiny_app):
+        with pytest.raises(ConfigurationError):
+            FaultInjector(tiny_app).degrade("backend", "1.0.0", "api", latency_factor=0.0)
+
+
+class TestGenerator:
+    def test_wiring_is_closed(self):
+        app = random_application(num_services=12, endpoints_per_service=3, seed=2)
+        assert app.validate_wiring() == []
+
+    def test_service_count(self):
+        app = random_application(num_services=8, seed=3)
+        assert len(app.service_names) == 8
+        assert "frontend" in app.service_names
+
+    def test_acyclic_execution(self):
+        app = random_application(num_services=10, seed=4)
+        runtime = Runtime(app, seed=5)
+        outcome = runtime.execute(make_request(entry="frontend.ep0"))
+        assert outcome.duration_ms > 0
+
+    def test_deterministic(self):
+        a = random_application(num_services=6, seed=7)
+        b = random_application(num_services=6, seed=7)
+        assert a.service_names == b.service_names
+
+    def test_invalid_params(self):
+        with pytest.raises(ConfigurationError):
+            random_application(num_services=0)

@@ -1,0 +1,95 @@
+"""Unit tests for the Bifrost middleware facade."""
+
+import pytest
+
+from repro.bifrost import Bifrost
+from repro.bifrost.model import Phase, PhaseType, Strategy, StrategyOutcome
+from repro.traffic.profile import UserGroup
+from repro.traffic.users import UserPopulation
+from repro.traffic.workload import WorkloadGenerator
+
+GROUPS = (UserGroup("eu", 0.6), UserGroup("na", 0.4))
+
+
+def short_canary(duration=40.0) -> Strategy:
+    return Strategy(
+        "s",
+        (
+            Phase(
+                name="canary",
+                type=PhaseType.CANARY,
+                service="backend",
+                stable_version="1.0.0",
+                experimental_version="2.0.0",
+                fraction=0.2,
+                duration_seconds=duration,
+                check_interval_seconds=5.0,
+            ),
+        ),
+    )
+
+
+class TestRun:
+    def test_outcomes_accumulate(self, canary_app):
+        bifrost = Bifrost(canary_app, seed=3)
+        population = UserPopulation(100, GROUPS, seed=4)
+        workload = WorkloadGenerator(population, entry="frontend.home", seed=5)
+        first = bifrost.run(workload.poisson(10.0, 10.0))
+        second = bifrost.run(workload.poisson(10.0, 10.0, start=10.0))
+        assert len(bifrost.outcomes) == len(first) + len(second)
+
+    def test_until_advances_clock(self, canary_app):
+        bifrost = Bifrost(canary_app, seed=3)
+        population = UserPopulation(100, GROUPS, seed=4)
+        workload = WorkloadGenerator(population, entry="frontend.home", seed=5)
+        bifrost.run(workload.poisson(10.0, 5.0), until=50.0)
+        assert bifrost.simulation.now == 50.0
+
+    def test_dsl_submission(self, canary_app):
+        bifrost = Bifrost(canary_app, seed=3)
+        execution = bifrost.submit(
+            """
+strategy text-strategy
+  phase canary
+    type canary
+    service backend
+    stable 1.0.0
+    experimental 2.0.0
+    fraction 0.2
+    duration 10
+    interval 5
+"""
+        )
+        assert execution.strategy.name == "text-strategy"
+
+
+class TestRunUntilSettled:
+    def test_drives_until_strategy_finishes(self, canary_app):
+        bifrost = Bifrost(canary_app, seed=6)
+        execution = bifrost.submit(short_canary(duration=35.0), at=1.0)
+        population = UserPopulation(100, GROUPS, seed=7)
+
+        def factory(start, duration):
+            workload = WorkloadGenerator(
+                population, entry="frontend.home", seed=int(start) + 8
+            )
+            return workload.poisson(15.0, duration, start=start)
+
+        outcomes = bifrost.run_until_settled(factory, chunk_seconds=20.0)
+        assert execution.outcome is StrategyOutcome.COMPLETED
+        assert outcomes
+
+    def test_stops_at_max_seconds(self, canary_app):
+        bifrost = Bifrost(canary_app, seed=9)
+        bifrost.submit(short_canary(duration=1e9), at=1.0)
+        population = UserPopulation(50, GROUPS, seed=10)
+
+        def factory(start, duration):
+            workload = WorkloadGenerator(
+                population, entry="frontend.home", seed=int(start) + 11
+            )
+            return workload.poisson(5.0, duration, start=start)
+
+        bifrost.run_until_settled(factory, chunk_seconds=30.0, max_seconds=120.0)
+        assert bifrost.simulation.now >= 120.0
+        assert bifrost.engine.running_count() == 1  # still running, bounded

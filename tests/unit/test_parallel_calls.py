@@ -1,0 +1,81 @@
+"""Unit tests for parallel (fan-out) downstream calls."""
+
+import pytest
+
+from repro.microservices.application import Application
+from repro.microservices.runtime import Runtime
+from repro.microservices.service import DownstreamCall, EndpointSpec, ServiceVersion
+from repro.simulation.latency import ConstantLatency
+from tests.conftest import constant_endpoint
+from tests.unit.test_microservices import make_request
+
+
+def fanout_app(parallel: bool) -> Application:
+    app = Application("fanout")
+    app.deploy(
+        ServiceVersion(
+            "frontend",
+            "1.0.0",
+            {
+                "home": EndpointSpec(
+                    "home",
+                    ConstantLatency(10.0),
+                    calls=(
+                        DownstreamCall("fast", "api"),
+                        DownstreamCall("slow", "api"),
+                    ),
+                    parallel_calls=parallel,
+                )
+            },
+        ),
+        stable=True,
+    )
+    app.deploy(
+        ServiceVersion("fast", "1.0.0", {"api": constant_endpoint("api", 20.0)}),
+        stable=True,
+    )
+    app.deploy(
+        ServiceVersion("slow", "1.0.0", {"api": constant_endpoint("api", 50.0)}),
+        stable=True,
+    )
+    return app
+
+
+class TestFanOut:
+    def test_sequential_latencies_sum(self):
+        runtime = Runtime(fanout_app(parallel=False), seed=1)
+        outcome = runtime.execute(make_request())
+        assert outcome.duration_ms == pytest.approx(10 + 20 + 50)
+
+    def test_parallel_waits_for_slowest(self):
+        runtime = Runtime(fanout_app(parallel=True), seed=1)
+        outcome = runtime.execute(make_request())
+        assert outcome.duration_ms == pytest.approx(10 + 50)
+
+    def test_parallel_children_share_start_time(self):
+        runtime = Runtime(fanout_app(parallel=True), seed=1)
+        trace = runtime.execute(make_request()).trace
+        children = trace.children(trace.root.span_id)
+        assert len(children) == 2
+        assert children[0].start == pytest.approx(children[1].start)
+
+    def test_sequential_children_are_staggered(self):
+        runtime = Runtime(fanout_app(parallel=False), seed=1)
+        trace = runtime.execute(make_request()).trace
+        children = trace.children(trace.root.span_id)
+        assert children[1].start > children[0].start
+
+    def test_parallel_error_still_propagates(self):
+        app = fanout_app(parallel=True)
+        app.resolve("slow").endpoints["api"] = constant_endpoint(
+            "api", 50.0, error_rate=1.0
+        )
+        runtime = Runtime(app, seed=1)
+        assert runtime.execute(make_request()).error
+
+    def test_all_children_traced_in_both_modes(self):
+        for parallel in (False, True):
+            runtime = Runtime(fanout_app(parallel=parallel), seed=1)
+            trace = runtime.execute(make_request()).trace
+            services = {span.service for span in trace.spans}
+            assert services == {"frontend", "fast", "slow"}

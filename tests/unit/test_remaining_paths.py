@@ -1,0 +1,161 @@
+"""Tests for remaining code paths across subsystems."""
+
+import pytest
+
+from repro.bifrost import Bifrost
+from repro.bifrost.model import Phase, PhaseType, Strategy, StrategyOutcome, Check
+from repro.microservices.service import ServiceVersion
+from repro.simulation.executor import SimulatedExecutor
+from repro.traffic.profile import UserGroup, flat_profile
+from repro.traffic.users import UserPopulation
+from repro.traffic.workload import WorkloadGenerator
+from tests.conftest import constant_endpoint
+
+GROUPS = (UserGroup("eu", 0.6), UserGroup("na", 0.4))
+
+
+class TestWorkloadFromProfile:
+    def test_follows_profile_shape(self):
+        # Two-slot profile: busy slot then quiet slot.
+        profile = flat_profile(2, 3600.0, GROUPS)  # 1 req/s per slot
+        population = UserPopulation(100, GROUPS, seed=1)
+        generator = WorkloadGenerator(population, seed=2)
+        requests = list(generator.from_profile(profile, scale=1.0))
+        first_slot = [r for r in requests if r.timestamp < 3600.0]
+        second_slot = [r for r in requests if r.timestamp >= 3600.0]
+        assert 3000 <= len(first_slot) <= 4200
+        assert 3000 <= len(second_slot) <= 4200
+
+    def test_scale_reduces_volume(self):
+        profile = flat_profile(1, 3600.0, GROUPS)
+        population = UserPopulation(100, GROUPS, seed=1)
+        full = len(list(
+            WorkloadGenerator(population, seed=3).from_profile(profile, scale=1.0)
+        ))
+        tenth = len(list(
+            WorkloadGenerator(population, seed=3).from_profile(profile, scale=0.1)
+        ))
+        assert tenth < full / 5
+
+    def test_zero_volume_slots_skipped(self):
+        from repro.traffic.profile import TrafficProfile
+
+        profile = TrafficProfile([0.0, 3600.0], GROUPS)
+        population = UserPopulation(50, GROUPS, seed=1)
+        requests = list(
+            WorkloadGenerator(population, seed=4).from_profile(profile)
+        )
+        assert all(r.timestamp >= 3600.0 for r in requests)
+
+
+class TestExecutorSeries:
+    def test_busy_bucket_saturates(self):
+        executor = SimulatedExecutor()
+        executor.submit(0.0, 1.0)  # fills bucket [0,1) completely
+        executor.submit(5.0, 0.2)
+        series = dict(executor.utilization_series(1.0))
+        assert series[0.0] == pytest.approx(1.0)
+        assert series[5.0] == pytest.approx(0.2)
+
+    def test_work_spanning_buckets_distributed(self):
+        executor = SimulatedExecutor()
+        executor.submit(0.5, 1.0)  # busy 0.5..1.5
+        series = dict(executor.utilization_series(1.0))
+        assert series[0.5] == pytest.approx(0.5, abs=1e-9) or series.get(0.5)
+
+
+class TestFrameworkAnalyzeOptions:
+    def test_custom_heuristic_selected(self, canary_app):
+        from repro.core.framework import ExperimentationFramework
+        from repro.topology.heuristics import SubtreeComplexityHeuristic
+
+        framework = ExperimentationFramework(canary_app, seed=5)
+        population = UserPopulation(150, GROUPS, seed=6)
+        workload = WorkloadGenerator(population, entry="frontend.home", seed=7)
+        framework.bifrost.run(workload.poisson(20.0, 20.0), until=20.0)
+        framework.bifrost.run(
+            workload.poisson(20.0, 20.0, start=20.0), until=40.0
+        )
+        report = framework.analyze(
+            (0.0, 20.0), (20.0, 40.0),
+            heuristic=SubtreeComplexityHeuristic(),
+        )
+        assert report.heuristic == "SC"
+
+
+class TestWinnerFollowThrough:
+    def test_rollout_checks_follow_ab_winner(self, canary_app):
+        """After the A/B picks 2.1.0, the rollout phase's checks written
+        against 2.0.0 must evaluate 2.1.0 instead (and pass)."""
+        canary_app.deploy(
+            ServiceVersion(
+                "backend", "2.1.0", {"api": constant_endpoint("api", 10.0)}
+            )
+        )
+        ab = Phase(
+            name="ab",
+            type=PhaseType.AB_TEST,
+            service="backend",
+            stable_version="1.0.0",
+            experimental_version="2.0.0",
+            second_version="2.1.0",
+            fraction=0.5,
+            duration_seconds=40.0,
+            check_interval_seconds=5.0,
+            on_success="rollout",
+        )
+        rollout = Phase(
+            name="rollout",
+            type=PhaseType.GRADUAL_ROLLOUT,
+            service="backend",
+            stable_version="1.0.0",
+            experimental_version="2.0.0",
+            steps=(0.5, 1.0),
+            duration_seconds=40.0,
+            check_interval_seconds=5.0,
+            checks=(
+                Check(
+                    name="errors",
+                    service="backend",
+                    version="2.0.0",  # written against the declared version
+                    metric="error",
+                    aggregation="mean",
+                    operator="<=",
+                    threshold=0.1,
+                    window_seconds=20.0,
+                ),
+            ),
+        )
+        strategy = Strategy("s", (ab, rollout))
+        bifrost = Bifrost(canary_app, seed=8)
+        execution = bifrost.submit(strategy, at=1.0)
+        population = UserPopulation(300, GROUPS, seed=9)
+        workload = WorkloadGenerator(population, entry="frontend.home", seed=10)
+        bifrost.run(workload.poisson(40.0, 100.0), until=120.0)
+        assert execution.winner == "2.1.0"
+        assert execution.outcome is StrategyOutcome.COMPLETED
+        # The rollout's check log must show evaluations against 2.1.0.
+        rollout_checks = [
+            r for r in execution.check_log if r.check.version == "2.1.0"
+        ]
+        assert rollout_checks
+        assert canary_app.stable_version("backend") == "2.1.0"
+
+
+class TestVerificationReporting:
+    def test_clean_report_describe(self, canary_app):
+        from repro.verification import verify_strategy
+        from tests.unit.test_verification import strategy_for
+
+        report = verify_strategy(strategy_for(canary_app), canary_app)
+        assert "no findings" in report.describe()
+
+    def test_findings_listed_in_describe(self, canary_app):
+        from repro.verification import verify_strategy
+        from tests.unit.test_verification import strategy_for
+
+        strategy = strategy_for(canary_app, experimental_version="9.9.9")
+        report = verify_strategy(strategy, canary_app)
+        text = report.describe()
+        assert "version-not-deployed" in text
+        assert "ERROR" in text

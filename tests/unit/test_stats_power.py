@@ -1,0 +1,85 @@
+"""Unit tests for repro.stats.power."""
+
+import pytest
+
+from repro.errors import StatisticsError
+from repro.stats.power import (
+    PowerAnalysis,
+    required_sample_size_mean,
+    required_sample_size_proportion,
+)
+
+
+class TestPowerAnalysis:
+    def test_defaults(self):
+        analysis = PowerAnalysis()
+        assert analysis.alpha == 0.05
+        assert analysis.power == 0.8
+
+    def test_z_quantiles(self):
+        analysis = PowerAnalysis(alpha=0.05, power=0.8)
+        assert analysis.z_alpha == pytest.approx(1.959964, abs=1e-5)
+        assert analysis.z_beta == pytest.approx(0.841621, abs=1e-5)
+
+    @pytest.mark.parametrize("alpha", [0.0, 1.0, -0.1, 2.0])
+    def test_invalid_alpha(self, alpha):
+        with pytest.raises(StatisticsError):
+            PowerAnalysis(alpha=alpha)
+
+    @pytest.mark.parametrize("power", [0.0, 1.0])
+    def test_invalid_power(self, power):
+        with pytest.raises(StatisticsError):
+            PowerAnalysis(power=power)
+
+
+class TestSampleSizeMean:
+    def test_textbook_value(self):
+        # d = effect/std = 0.5 -> n ~ 63 per group at alpha=.05, power=.8.
+        n = required_sample_size_mean(effect_size=5.0, std=10.0)
+        assert 60 <= n <= 66
+
+    def test_smaller_effect_needs_more_samples(self):
+        big = required_sample_size_mean(10.0, 10.0)
+        small = required_sample_size_mean(1.0, 10.0)
+        assert small > big
+
+    def test_higher_power_needs_more_samples(self):
+        low = required_sample_size_mean(5.0, 10.0, PowerAnalysis(power=0.8))
+        high = required_sample_size_mean(5.0, 10.0, PowerAnalysis(power=0.95))
+        assert high > low
+
+    def test_invalid_effect(self):
+        with pytest.raises(StatisticsError):
+            required_sample_size_mean(0.0, 1.0)
+
+    def test_invalid_std(self):
+        with pytest.raises(StatisticsError):
+            required_sample_size_mean(1.0, 0.0)
+
+
+class TestSampleSizeProportion:
+    def test_conversion_rate_case(self):
+        # 10% baseline, detect +2pp: classic A/B sizing ~3,800 per group.
+        n = required_sample_size_proportion(0.10, 0.02)
+        assert 3000 <= n <= 4600
+
+    def test_negative_effect_allowed(self):
+        n = required_sample_size_proportion(0.5, -0.05)
+        assert n > 100
+
+    def test_rate_out_of_range(self):
+        with pytest.raises(StatisticsError):
+            required_sample_size_proportion(1.2, 0.05)
+
+    def test_effect_pushing_out_of_range(self):
+        with pytest.raises(StatisticsError):
+            required_sample_size_proportion(0.97, 0.05)
+
+    def test_zero_effect(self):
+        with pytest.raises(StatisticsError):
+            required_sample_size_proportion(0.5, 0.0)
+
+    def test_monotonic_in_effect(self):
+        n1 = required_sample_size_proportion(0.1, 0.01)
+        n2 = required_sample_size_proportion(0.1, 0.05)
+        assert n1 > n2

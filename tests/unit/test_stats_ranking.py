@@ -1,0 +1,61 @@
+"""Unit tests for repro.stats.ranking (DCG / nDCG)."""
+
+import math
+
+import pytest
+
+from repro.errors import StatisticsError
+from repro.stats.ranking import dcg, idcg, ndcg
+
+
+class TestDcg:
+    def test_first_item_undiscounted(self):
+        assert dcg([3.0]) == 3.0
+
+    def test_second_item_discounted(self):
+        assert dcg([0.0, 2.0]) == pytest.approx(2.0 / math.log2(3))
+
+    def test_k_truncates(self):
+        assert dcg([1, 1, 1, 1], k=2) == pytest.approx(1.0 + 1.0 / math.log2(3))
+
+    def test_negative_relevance_rejected(self):
+        with pytest.raises(StatisticsError):
+            dcg([1.0, -0.5])
+
+    def test_invalid_k(self):
+        with pytest.raises(StatisticsError):
+            dcg([1.0], k=0)
+
+    def test_empty_is_zero(self):
+        assert dcg([]) == 0.0
+
+
+class TestIdcg:
+    def test_sorts_descending(self):
+        assert idcg([1.0, 3.0]) == dcg([3.0, 1.0])
+
+    def test_already_ideal(self):
+        assert idcg([3.0, 1.0]) == dcg([3.0, 1.0])
+
+
+class TestNdcg:
+    def test_perfect_ranking(self):
+        assert ndcg([3, 2, 1, 0]) == pytest.approx(1.0)
+
+    def test_worst_ranking_below_one(self):
+        assert ndcg([0, 1, 2, 3]) < 1.0
+
+    def test_reversal_matches_manual(self):
+        score = ndcg([0.0, 3.0])
+        expected = (3.0 / math.log2(3)) / 3.0
+        assert score == pytest.approx(expected)
+
+    def test_all_zero_by_convention(self):
+        assert ndcg([0, 0, 0]) == 1.0
+
+    def test_bounded(self):
+        assert 0.0 <= ndcg([1, 0, 2, 0, 3], k=3) <= 1.0
+
+    def test_k_changes_score(self):
+        ranking = [0, 0, 3]
+        assert ndcg(ranking, k=2) < ndcg(ranking, k=3)

@@ -1,0 +1,92 @@
+"""Unit tests for the sequential probability ratio test."""
+
+import pytest
+
+from repro.errors import StatisticsError
+from repro.stats.sequential import SequentialProbabilityRatioTest, SprtDecision
+
+
+def make_test(**kwargs) -> SequentialProbabilityRatioTest:
+    defaults = dict(p0=0.01, p1=0.05, alpha=0.05, beta=0.1)
+    defaults.update(kwargs)
+    return SequentialProbabilityRatioTest(**defaults)
+
+
+class TestConstruction:
+    def test_valid(self):
+        test = make_test()
+        assert test.decision is SprtDecision.CONTINUE
+        assert test.observations == 0
+
+    def test_p1_must_exceed_p0(self):
+        with pytest.raises(StatisticsError):
+            make_test(p0=0.05, p1=0.05)
+
+    @pytest.mark.parametrize("p", [0.0, 1.0])
+    def test_probabilities_open_interval(self, p):
+        with pytest.raises(StatisticsError):
+            make_test(p0=p)
+
+    def test_bounds_ordering(self):
+        test = make_test()
+        assert test.lower_bound < 0 < test.upper_bound
+
+
+class TestDecisions:
+    def test_rejects_on_many_failures(self):
+        test = make_test()
+        decision = test.observe_batch(failures=20, total=40)
+        assert decision is SprtDecision.REJECT_NULL
+
+    def test_accepts_on_long_healthy_run(self):
+        test = make_test()
+        decision = test.observe_batch(failures=0, total=500)
+        assert decision is SprtDecision.ACCEPT_NULL
+
+    def test_continues_on_ambiguous_evidence(self):
+        test = make_test()
+        test.observe(False)
+        test.observe(True)
+        assert test.decision is SprtDecision.CONTINUE
+
+    def test_terminal_decision_sticks(self):
+        test = make_test()
+        test.observe_batch(failures=20, total=20)
+        assert test.decision is SprtDecision.REJECT_NULL
+        observations = test.observations
+        test.observe(False)
+        assert test.decision is SprtDecision.REJECT_NULL
+        assert test.observations == observations  # ignored after terminal
+
+    def test_failures_raise_llr(self):
+        test = make_test()
+        test.observe(True)
+        assert test.log_likelihood_ratio > 0
+
+    def test_successes_lower_llr(self):
+        test = make_test()
+        test.observe(False)
+        assert test.log_likelihood_ratio < 0
+
+
+class TestBatchAndReset:
+    def test_batch_validates_counts(self):
+        with pytest.raises(StatisticsError):
+            make_test().observe_batch(failures=5, total=3)
+
+    def test_reset_restores_initial_state(self):
+        test = make_test()
+        test.observe_batch(failures=20, total=20)
+        test.reset()
+        assert test.decision is SprtDecision.CONTINUE
+        assert test.observations == 0
+        assert test.log_likelihood_ratio == 0.0
+
+    def test_expected_sample_size_smaller_when_effect_large(self):
+        # With a blatant failure rate the test should decide quickly.
+        fast = make_test(p0=0.01, p1=0.5)
+        for _ in range(10):
+            if fast.observe(True) is not SprtDecision.CONTINUE:
+                break
+        assert fast.decision is SprtDecision.REJECT_NULL
+        assert fast.observations <= 5

@@ -1,0 +1,68 @@
+"""Unit tests for the transcribed interview-study data (Table 2.1)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.study.interviews import (
+    PARTICIPANTS,
+    companies_by_type,
+    distinct_companies,
+    mean_experience,
+    participants,
+    participants_by_app_type,
+)
+
+
+class TestTable21:
+    def test_31_participants(self):
+        assert len(PARTICIPANTS) == 31
+
+    def test_round_sizes(self):
+        assert len(participants(1)) == 20
+        assert len(participants(2)) == 11
+
+    def test_invalid_round(self):
+        with pytest.raises(ConfigurationError):
+            participants(3)
+
+    def test_27_distinct_companies(self):
+        # 31 participants minus the shared companies (P9/P10/P11,
+        # D4/D5, D6/D11) = 27, as stated in Section 2.4.
+        assert len(distinct_companies()) == 27
+
+    def test_company_size_demographics_match_fig_2_3(self):
+        by_type = companies_by_type()
+        assert by_type == {"corp": 7, "sme": 16, "startup": 4}
+
+    def test_app_type_demographics_match_fig_2_3(self):
+        by_app = participants_by_app_type()
+        assert by_app["web"] == 25
+        assert by_app["enterprise"] == 4
+        assert by_app["desktop"] == 1
+        assert by_app["embedded"] == 1
+
+    def test_round1_mean_experience(self):
+        # Chapter: "average 9 years" for the first interview round.
+        assert mean_experience(1) == pytest.approx(9.0, abs=0.7)
+
+    def test_round2_mean_experience(self):
+        # Chapter: "participants of the second round ... 12 years".
+        assert mean_experience(2) == pytest.approx(12.0, abs=0.8)
+
+    def test_round2_all_web(self):
+        # "All of the selected companies for the second round of
+        # interviews develop Web-based applications."
+        assert all(p.app_type == "web" for p in participants(2))
+
+    def test_unique_ids(self):
+        ids = [p.participant_id for p in PARTICIPANTS]
+        assert len(set(ids)) == 31
+
+    def test_team_sizes_sane(self):
+        for participant in PARTICIPANTS:
+            low, high = participant.team_size
+            assert 1 <= low <= high
+
+    def test_experience_in_company_bounded_by_total(self):
+        for participant in PARTICIPANTS:
+            assert participant.experience_company <= participant.experience_total

@@ -1,0 +1,121 @@
+"""Unit tests for the telemetry package."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.telemetry.metrics import Counter, Gauge, Histogram
+from repro.telemetry.monitor import Monitor
+from repro.telemetry.store import MetricKey, MetricStore, supported_aggregations
+from tests.unit.test_tracing import make_span
+
+
+class TestCounter:
+    def test_increment(self):
+        counter = Counter("requests")
+        counter.increment()
+        counter.increment(2.5)
+        assert counter.value == 3.5
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValidationError):
+            Counter("x").increment(-1.0)
+
+
+class TestGauge:
+    def test_set_and_add(self):
+        gauge = Gauge("inflight", 5.0)
+        gauge.add(-2.0)
+        assert gauge.value == 3.0
+        gauge.set(10.0)
+        assert gauge.value == 10.0
+
+
+class TestHistogram:
+    def test_percentiles(self):
+        histogram = Histogram("rt")
+        for v in range(1, 101):
+            histogram.observe(float(v))
+        assert histogram.percentile(50) == pytest.approx(50.5)
+        assert histogram.percentile(99) == pytest.approx(99.01, abs=0.5)
+
+    def test_capacity_evicts_oldest(self):
+        histogram = Histogram("rt", capacity=3)
+        for v in (1.0, 2.0, 3.0, 100.0):
+            histogram.observe(v)
+        assert len(histogram) == 3
+        assert histogram.percentile(0) == 2.0
+
+    def test_empty_percentile_raises(self):
+        with pytest.raises(ValidationError):
+            Histogram("rt").percentile(50)
+
+    def test_summary(self):
+        histogram = Histogram("rt")
+        histogram.observe(1.0)
+        histogram.observe(3.0)
+        assert histogram.summary().mean == 2.0
+
+
+class TestMetricStore:
+    def test_record_and_aggregate(self):
+        store = MetricStore()
+        for t in range(10):
+            store.record("svc", "1.0", "response_time", float(t), float(t * 10))
+        assert store.aggregate("svc", "1.0", "response_time", "mean", 0, 10) == 45.0
+        assert store.aggregate("svc", "1.0", "response_time", "count", 0, 5) == 5.0
+        assert store.aggregate("svc", "1.0", "response_time", "max", 0, 10) == 90.0
+
+    def test_empty_window_returns_none(self):
+        store = MetricStore()
+        store.record("svc", "1.0", "m", 0.0, 1.0)
+        assert store.aggregate("svc", "1.0", "m", "mean", 5.0, 10.0) is None
+
+    def test_unknown_metric_returns_none(self):
+        assert MetricStore().aggregate("a", "b", "c", "mean", 0, 1) is None
+
+    def test_unknown_aggregation_raises(self):
+        with pytest.raises(ValidationError):
+            MetricStore().aggregate("a", "b", "c", "avg", 0, 1)
+
+    def test_supported_aggregations_listed(self):
+        assert {"mean", "p95", "count"} <= set(supported_aggregations())
+
+    def test_keys_sorted(self):
+        store = MetricStore()
+        store.record("b", "1", "m", 0.0, 1.0)
+        store.record("a", "1", "m", 0.0, 1.0)
+        assert store.keys()[0] == MetricKey("a", "1", "m")
+
+    def test_merge(self):
+        a, b = MetricStore(), MetricStore()
+        a.record("svc", "1", "m", 0.0, 1.0)
+        b.record("svc", "1", "m", 1.0, 3.0)
+        a.merge(b)
+        assert a.aggregate("svc", "1", "m", "mean", 0, 2) == 2.0
+
+    def test_versions_are_separate_streams(self):
+        store = MetricStore()
+        store.record("svc", "1.0", "m", 0.0, 1.0)
+        store.record("svc", "2.0", "m", 0.0, 9.0)
+        assert store.aggregate("svc", "1.0", "m", "mean", 0, 1) == 1.0
+        assert store.aggregate("svc", "2.0", "m", "mean", 0, 1) == 9.0
+
+
+class TestMonitor:
+    def test_observe_span_derives_metrics(self):
+        monitor = Monitor()
+        monitor.observe_span(make_span(duration_ms=42.0))
+        assert monitor.mean_response_time("frontend", "1.0.0", 0, 1) == 42.0
+        assert monitor.error_rate("frontend", "1.0.0", 0, 1) == 0.0
+        assert monitor.throughput("frontend", "1.0.0", 0, 1) == 1.0
+
+    def test_error_rate(self):
+        monitor = Monitor()
+        monitor.observe_span(make_span("s1", error=True))
+        monitor.observe_span(make_span("s2", error=False))
+        assert monitor.error_rate("frontend", "1.0.0", 0, 1) == 0.5
+
+    def test_no_traffic_is_none(self):
+        monitor = Monitor()
+        assert monitor.error_rate("svc", "1.0", 0, 1) is None
+        assert monitor.throughput("svc", "1.0", 0, 1) == 0.0

@@ -1,0 +1,180 @@
+"""Unit tests for the feature-toggle subsystem."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.microservices.runtime import Runtime
+from repro.toggles.debt import assess_toggle_debt, estimate_test_effort
+from repro.toggles.router import ToggleRouter
+from repro.toggles.store import FeatureToggle, ToggleState, ToggleStore
+from tests.unit.test_microservices import make_request
+
+
+class TestFeatureToggle:
+    def test_disabled_by_default_fraction_zero(self):
+        toggle = FeatureToggle("f", "svc")
+        assert not toggle.evaluate("user1")
+
+    def test_full_rollout_enables_everyone(self):
+        toggle = FeatureToggle("f", "svc", rollout_fraction=1.0)
+        assert all(toggle.evaluate(f"u{i}") for i in range(50))
+
+    def test_sticky_per_user(self):
+        toggle = FeatureToggle("f", "svc", rollout_fraction=0.5)
+        first = toggle.evaluate("alice")
+        assert all(toggle.evaluate("alice") == first for _ in range(10))
+
+    def test_fraction_approximated(self):
+        toggle = FeatureToggle("f", "svc", rollout_fraction=0.3)
+        share = sum(toggle.evaluate(f"u{i}") for i in range(2000)) / 2000
+        assert share == pytest.approx(0.3, abs=0.05)
+
+    def test_group_override(self):
+        toggle = FeatureToggle(
+            "f", "svc", rollout_fraction=0.0,
+            enabled_groups=frozenset({"beta"}),
+        )
+        assert toggle.evaluate("u1", group="beta")
+        assert not toggle.evaluate("u1", group="eu")
+
+    def test_inactive_states_disable(self):
+        for state in (ToggleState.DISABLED, ToggleState.RETIRED):
+            toggle = FeatureToggle("f", "svc", rollout_fraction=1.0, state=state)
+            assert not toggle.evaluate("u1")
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ConfigurationError):
+            FeatureToggle("f", "svc", rollout_fraction=1.5)
+
+
+class TestToggleStore:
+    def test_register_and_lookup(self):
+        store = ToggleStore()
+        store.register(FeatureToggle("f", "svc", rollout_fraction=1.0))
+        assert store.is_enabled("f", "u1")
+        assert store.evaluations == 1
+
+    def test_duplicate_rejected(self):
+        store = ToggleStore()
+        store.register(FeatureToggle("f", "svc"))
+        with pytest.raises(ConfigurationError):
+            store.register(FeatureToggle("f", "svc"))
+
+    def test_set_rollout(self):
+        store = ToggleStore()
+        store.register(FeatureToggle("f", "svc", rollout_fraction=0.0))
+        store.set_rollout("f", 1.0)
+        assert store.is_enabled("f", "u1")
+
+    def test_disable_is_kill_switch(self):
+        store = ToggleStore()
+        store.register(FeatureToggle("f", "svc", rollout_fraction=1.0))
+        store.disable("f")
+        assert not store.is_enabled("f", "u1")
+        assert store.get("f").state is ToggleState.DISABLED
+
+    def test_retire(self):
+        store = ToggleStore()
+        store.register(FeatureToggle("f", "svc", rollout_fraction=1.0))
+        store.retire("f")
+        assert store.get("f").state is ToggleState.RETIRED
+        assert store.active_toggles() == []
+
+    def test_active_toggles_by_service(self):
+        store = ToggleStore()
+        store.register(FeatureToggle("a", "svc1"))
+        store.register(FeatureToggle("b", "svc2"))
+        assert len(store.active_toggles("svc1")) == 1
+
+    def test_unknown_toggle(self):
+        with pytest.raises(ConfigurationError):
+            ToggleStore().get("ghost")
+
+
+class TestToggleRouter:
+    def test_routes_enabled_users_to_experimental(self, canary_app):
+        router = ToggleRouter()
+        router.start_experiment("backend", "2.0.0", fraction=1.0)
+        decision = router.route(make_request(), "backend")
+        assert decision.version == "2.0.0"
+        assert decision.proxy_hops == 0  # in-process decision, no hop
+
+    def test_disabled_users_stay_stable(self, canary_app):
+        router = ToggleRouter()
+        router.start_experiment("backend", "2.0.0", fraction=0.0)
+        decision = router.route(make_request(), "backend")
+        assert decision.version is None
+
+    def test_untouched_service_passthrough(self):
+        router = ToggleRouter()
+        decision = router.route(make_request(), "frontend")
+        assert decision.version is None
+        assert router.store.evaluations == 0
+
+    def test_runtime_integration(self, canary_app):
+        router = ToggleRouter()
+        router.start_experiment("backend", "2.0.0", fraction=1.0)
+        runtime = Runtime(canary_app, router=router, seed=1)
+        outcome = runtime.execute(make_request())
+        # backend 2.0.0 is 30ms; no proxy overhead at all.
+        assert outcome.duration_ms == pytest.approx(40.0)
+
+    def test_stop_experiment(self, canary_app):
+        router = ToggleRouter()
+        router.start_experiment("backend", "2.0.0", fraction=1.0)
+        router.stop_experiment("backend")
+        decision = router.route(make_request(), "backend")
+        assert decision.version is None
+
+    def test_double_start_rejected(self):
+        router = ToggleRouter()
+        router.start_experiment("backend", "2.0.0", fraction=0.5)
+        with pytest.raises(ConfigurationError):
+            router.start_experiment("backend", "3.0.0", fraction=0.5)
+
+    def test_advance_rollout(self, canary_app):
+        router = ToggleRouter()
+        router.start_experiment("backend", "2.0.0", fraction=0.0)
+        router.advance_rollout("backend", 1.0)
+        assert router.route(make_request(), "backend").version == "2.0.0"
+
+
+class TestToggleDebt:
+    def make_store(self) -> ToggleStore:
+        store = ToggleStore()
+        store.register(FeatureToggle("a", "svc1", created_at=0.0))
+        store.register(FeatureToggle("b", "svc1", created_at=0.0))
+        store.register(FeatureToggle("c", "svc2", created_at=100.0))
+        store.register(FeatureToggle("d", "svc2"))
+        store.disable("d")
+        return store
+
+    def test_counts(self):
+        report = assess_toggle_debt(self.make_store(), now=0.0)
+        assert report.active == 3
+        assert report.disabled == 1
+        assert report.per_service == {"svc1": 2, "svc2": 1}
+
+    def test_stale_detection(self):
+        report = assess_toggle_debt(
+            self.make_store(), now=50.0, stale_after_seconds=10.0
+        )
+        assert report.stale == 2  # a, b are older than 10s
+
+    def test_state_space(self):
+        report = assess_toggle_debt(self.make_store())
+        assert report.state_space == 8.0
+
+    def test_policy_check(self):
+        report = assess_toggle_debt(self.make_store())
+        assert report.exceeds(max_active_per_service=1) == ["svc1"]
+        assert report.exceeds(max_active_per_service=5) == []
+
+    def test_effort_explodes(self):
+        store = ToggleStore()
+        for i in range(70):
+            store.register(FeatureToggle(f"t{i}", "svc"))
+        report = assess_toggle_debt(store)
+        assert math.isinf(estimate_test_effort(report))

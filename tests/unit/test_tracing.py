@@ -1,0 +1,186 @@
+"""Unit tests for the distributed tracing substrate."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.tracing.collector import TraceCollector
+from repro.tracing.query import TraceQuery
+from repro.tracing.span import Span
+from repro.tracing.trace import Trace
+
+
+def make_span(
+    span_id="s1",
+    trace_id="t1",
+    parent_id=None,
+    service="frontend",
+    version="1.0.0",
+    endpoint="home",
+    start=0.0,
+    duration_ms=10.0,
+    error=False,
+    tags=None,
+) -> Span:
+    return Span(
+        span_id=span_id,
+        trace_id=trace_id,
+        parent_id=parent_id,
+        service=service,
+        version=version,
+        endpoint=endpoint,
+        start=start,
+        duration_ms=duration_ms,
+        error=error,
+        tags=tags or {},
+    )
+
+
+def make_trace() -> Trace:
+    root = make_span("root")
+    child_a = make_span("a", parent_id="root", service="auth", start=0.001)
+    child_b = make_span("b", parent_id="root", service="backend", start=0.002)
+    grandchild = make_span("c", parent_id="b", service="db", start=0.003)
+    return Trace("t1", [root, child_a, child_b, grandchild])
+
+
+class TestSpan:
+    def test_node_key(self):
+        span = make_span()
+        assert span.node_key == ("frontend", "1.0.0", "home")
+
+    def test_end_time(self):
+        span = make_span(start=1.0, duration_ms=500.0)
+        assert span.end == pytest.approx(1.5)
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValidationError):
+            make_span(duration_ms=-1.0)
+
+    def test_empty_service_rejected(self):
+        with pytest.raises(ValidationError):
+            make_span(service="")
+
+
+class TestTrace:
+    def test_root_identified(self):
+        trace = make_trace()
+        assert trace.root.span_id == "root"
+
+    def test_children_ordered_by_start(self):
+        trace = make_trace()
+        children = trace.children("root")
+        assert [c.span_id for c in children] == ["a", "b"]
+
+    def test_walk_visits_all_with_parents(self):
+        trace = make_trace()
+        visited = {span.span_id: parent for span, parent in trace.walk()}
+        assert visited["root"] is None
+        assert visited["c"].span_id == "b"
+        assert len(visited) == 4
+
+    def test_requires_single_root(self):
+        with pytest.raises(ValidationError):
+            Trace("t1", [make_span("r1"), make_span("r2")])
+
+    def test_rejects_unknown_parent(self):
+        with pytest.raises(ValidationError):
+            Trace("t1", [make_span("root"), make_span("x", parent_id="ghost")])
+
+    def test_rejects_foreign_spans(self):
+        with pytest.raises(ValidationError):
+            Trace("t1", [make_span("root", trace_id="other")])
+
+    def test_rejects_duplicate_ids(self):
+        with pytest.raises(ValidationError):
+            Trace("t1", [make_span("root"), make_span("root", parent_id="root")])
+
+    def test_has_error_propagates(self):
+        root = make_span("root")
+        bad = make_span("bad", parent_id="root", error=True)
+        assert Trace("t1", [root, bad]).has_error
+
+    def test_duration_is_root_duration(self):
+        assert make_trace().duration_ms == 10.0
+
+
+class TestCollector:
+    def test_assembles_out_of_order_spans(self):
+        collector = TraceCollector()
+        collector.record(make_span("c", parent_id="b"))
+        collector.record(make_span("b", parent_id="root"))
+        collector.record(make_span("root"))
+        trace = collector.trace("t1")
+        assert len(trace) == 3
+
+    def test_capacity_evicts_oldest(self):
+        collector = TraceCollector(capacity=2)
+        for i in range(3):
+            collector.record(make_span("root", trace_id=f"t{i}"))
+        assert len(collector) == 2
+        assert "t0" not in collector.trace_ids
+
+    def test_unknown_trace(self):
+        with pytest.raises(ValidationError):
+            TraceCollector().trace("nope")
+
+    def test_clear(self):
+        collector = TraceCollector()
+        collector.record(make_span())
+        collector.clear()
+        assert len(collector) == 0
+
+
+class TestQuery:
+    @pytest.fixture
+    def collector(self) -> TraceCollector:
+        collector = TraceCollector()
+        for i in range(5):
+            root = make_span(
+                f"root{i}",
+                trace_id=f"t{i}",
+                start=float(i),
+                tags={"experiment": "exp1"} if i % 2 == 0 else {},
+            )
+            child = make_span(
+                f"child{i}",
+                trace_id=f"t{i}",
+                parent_id=f"root{i}",
+                service="backend",
+                version="2.0.0" if i >= 3 else "1.0.0",
+                endpoint="api",
+                error=(i == 4),
+            )
+            collector.record_all([root, child])
+        return collector
+
+    def test_window_filter(self, collector):
+        assert TraceQuery(collector).in_window(1.0, 3.0).count() == 2
+
+    def test_tag_filter(self, collector):
+        assert TraceQuery(collector).with_tag("experiment", "exp1").count() == 3
+
+    def test_touching_version(self, collector):
+        assert TraceQuery(collector).touching_version("backend", "2.0.0").count() == 2
+
+    def test_errors_only(self, collector):
+        assert TraceQuery(collector).errors_only().count() == 1
+
+    def test_chained_filters(self, collector):
+        count = (
+            TraceQuery(collector)
+            .in_window(0.0, 10.0)
+            .touching_service("backend")
+            .errors_only()
+            .count()
+        )
+        assert count == 1
+
+    def test_entry_filter(self, collector):
+        assert TraceQuery(collector).entry("frontend", "home").count() == 5
+        assert TraceQuery(collector).entry("backend").count() == 0
+
+    def test_limit(self, collector):
+        assert len(TraceQuery(collector).run(limit=2)) == 2
+
+    def test_any_span_tag(self, collector):
+        assert TraceQuery(collector).any_span_tag("experiment", "exp1").count() == 3
