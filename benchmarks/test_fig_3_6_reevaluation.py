@@ -7,7 +7,6 @@ narrows compared to from-scratch scheduling, because LS/SA start from
 the highly optimized GA schedule.
 """
 
-import statistics
 
 from _util import emit, format_rows
 

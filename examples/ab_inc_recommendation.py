@@ -14,7 +14,7 @@ Run with::
     python examples/ab_inc_recommendation.py
 """
 
-from repro.bifrost import Bifrost, parse_strategy
+from repro.bifrost import Bifrost
 from repro.microservices.service import DownstreamCall, EndpointSpec, ServiceVersion
 from repro.simulation.latency import LoadSensitiveLatency, LogNormalLatency
 from repro.topology import (

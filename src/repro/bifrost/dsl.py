@@ -44,9 +44,9 @@ from repro.bifrost.model import Check, Phase, PhaseType, Strategy
 
 _PHASE_SCALARS = {
     "type", "service", "stable", "experimental", "second", "fraction",
-    "duration", "interval", "min_samples", "on_success", "on_failure",
-    "on_inconclusive", "max_repeats", "groups", "steps", "winner_metric",
-    "winner_aggregation", "winner_lower_is_better",
+    "duration", "interval", "deadline", "min_samples", "on_success",
+    "on_failure", "on_inconclusive", "max_repeats", "groups", "steps",
+    "winner_metric", "winner_aggregation", "winner_lower_is_better",
 }
 _CHECK_SCALARS = {
     "metric", "aggregation", "operator", "threshold", "baseline",
@@ -181,6 +181,9 @@ def parse_strategy(text: str) -> Strategy:
                 check_interval_seconds=float(fields.get("interval", "5")),
                 checks=tuple(checks),
                 min_samples=int(fields.get("min_samples", "0")),
+                deadline_seconds=(
+                    float(fields["deadline"]) if "deadline" in fields else None
+                ),
                 on_success=fields.get("on_success", "complete"),
                 on_failure=fields.get("on_failure", "rollback"),
                 on_inconclusive=fields.get("on_inconclusive", "repeat"),
@@ -263,6 +266,8 @@ def strategy_to_dsl(strategy: Strategy) -> str:
             out.append(f"    groups {', '.join(sorted(phase.audience_groups))}")
         out.append(f"    duration {phase.duration_seconds}")
         out.append(f"    interval {phase.check_interval_seconds}")
+        if phase.deadline_seconds is not None:
+            out.append(f"    deadline {phase.deadline_seconds}")
         if phase.min_samples:
             out.append(f"    min_samples {phase.min_samples}")
         if phase.type is PhaseType.AB_TEST:

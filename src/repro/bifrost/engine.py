@@ -89,6 +89,9 @@ class StrategyExecution:
     finished_at: float | None = None
     check_next_due: dict[str, float] = field(default_factory=dict)
     check_last: dict[str, CheckOutcome] = field(default_factory=dict)
+    phase_first_entered: dict[str, float] = field(default_factory=dict)
+    evaluation_errors: int = 0
+    deadline_exceeded: str | None = None
 
     @property
     def running(self) -> bool:
@@ -177,12 +180,41 @@ class BifrostEngine:
         execution.check_next_due = {}
         execution.check_last = {}
         phase = execution.current_phase
+        if (
+            phase.deadline_seconds is not None
+            and phase_name not in execution.phase_first_entered
+        ):
+            # The watchdog arms once per phase *name*: repeats share the
+            # same time budget instead of resetting it, so an endlessly
+            # inconclusive phase cannot stall the strategy.
+            execution.phase_first_entered[phase_name] = self.simulation.now
+            self.simulation.schedule_in(
+                phase.deadline_seconds,
+                lambda: self._deadline_expired(execution, phase_name),
+                label=f"deadline:{execution.strategy.name}:{phase_name}",
+            )
         self._install_route(execution, phase)
         self.executor.submit(
             self.simulation.now, self.costs.route_update,
             label=f"{execution.strategy.name}:route",
         )
         self._schedule_tick(execution, phase)
+
+    def _deadline_expired(self, execution: StrategyExecution, phase_name: str) -> None:
+        """Watchdog: force a rollback when a phase blew its time budget."""
+        if not execution.running or execution.state != phase_name:
+            return
+        execution.deadline_exceeded = phase_name
+        execution.transitions.append(
+            TransitionRecord(
+                self.simulation.now,
+                phase_name,
+                TERMINAL_ROLLBACK,
+                "deadline",
+                Action.ROLLBACK,
+            )
+        )
+        self._finalize(execution, TERMINAL_ROLLBACK)
 
     def _schedule_tick(self, execution: StrategyExecution, phase: Phase) -> None:
         self.simulation.schedule_in(
@@ -210,7 +242,18 @@ class BifrostEngine:
         self.executor.submit(
             now, cost, label=f"{execution.strategy.name}:{phase.name}"
         )
-        results = self.evaluator.evaluate_all(due, now)
+        # A check whose evaluation blows up (bad aggregation, store
+        # trouble) must not take the engine down mid-simulation: it
+        # counts as inconclusive and is retried on the next due tick.
+        results = []
+        for check in due:
+            try:
+                results.append(self.evaluator.evaluate(check, now))
+            except ExecutionError:
+                execution.evaluation_errors += 1
+                results.append(
+                    CheckResult(check, now, CheckOutcome.INCONCLUSIVE, None, None)
+                )
         execution.check_log.extend(results)
         for check, result in zip(due, results):
             execution.check_last[check.name] = result.outcome

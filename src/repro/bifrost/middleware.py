@@ -16,6 +16,8 @@ from repro.bifrost.dsl import parse_strategy
 from repro.bifrost.engine import BifrostEngine, EngineCosts, StrategyExecution
 from repro.bifrost.model import Strategy, StrategyOutcome
 from repro.microservices.application import Application
+from repro.microservices.faults import FaultCampaign, NetworkState
+from repro.microservices.resilience import ResilienceLayer
 from repro.microservices.runtime import RequestOutcome, Runtime
 from repro.routing.proxy import VersionRouter
 from repro.simulation.clock import SimulationClock
@@ -32,17 +34,22 @@ class Bifrost:
         seed: int = 42,
         proxy_overhead_ms: float = 2.0,
         costs: EngineCosts | None = None,
+        resilience: ResilienceLayer | None = None,
+        network: NetworkState | None = None,
     ) -> None:
         self.application = application
         self.clock = SimulationClock()
         self.simulation = SimulationEngine(self.clock)
         self.router = VersionRouter()
+        self.network = network
         self.runtime = Runtime(
             application,
             router=self.router,
             clock=self.clock,
             seed=seed,
             proxy_overhead_ms=proxy_overhead_ms,
+            resilience=resilience,
+            network=network,
         )
         self.engine = BifrostEngine(
             simulation=self.simulation,
@@ -62,6 +69,15 @@ class Bifrost:
     def store(self):
         """The shared metric store checks evaluate against."""
         return self.runtime.monitor.store
+
+    @property
+    def resilience(self) -> ResilienceLayer:
+        """The resilience layer the runtime consults on every hop."""
+        return self.runtime.resilience
+
+    def install_campaign(self, campaign: FaultCampaign) -> int:
+        """Schedule a fault campaign on the shared simulated clock."""
+        return campaign.install(self.simulation)
 
     def submit(self, strategy: Strategy | str, at: float | None = None) -> StrategyExecution:
         """Submit a strategy object or DSL text for execution."""

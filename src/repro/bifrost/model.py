@@ -152,6 +152,10 @@ class Phase:
         checks: the phase's health criteria.
         min_samples: minimum experimental-variant requests before the
             success transition may fire.
+        deadline_seconds: hard time budget for the phase measured from
+            its *first* entry (repeats included); when exceeded, the
+            engine's watchdog forces a rollback.  None disables the
+            watchdog.
         on_success / on_failure / on_inconclusive: next phase name, a
             terminal state, or ``repeat``.
         max_repeats: how often an inconclusive phase may re-execute.
@@ -172,6 +176,7 @@ class Phase:
     check_interval_seconds: float = 5.0
     checks: tuple[Check, ...] = ()
     min_samples: int = 0
+    deadline_seconds: float | None = None
     on_success: str = TERMINAL_COMPLETE
     on_failure: str = TERMINAL_ROLLBACK
     on_inconclusive: str = REPEAT
@@ -212,6 +217,10 @@ class Phase:
             raise ConfigurationError(f"phase {self.name!r}: min_samples >= 0")
         if self.max_repeats < 0:
             raise ConfigurationError(f"phase {self.name!r}: max_repeats >= 0")
+        if self.deadline_seconds is not None and self.deadline_seconds <= 0:
+            raise ConfigurationError(
+                f"phase {self.name!r}: deadline_seconds must be > 0 when set"
+            )
 
 
 class StrategyOutcome(enum.Enum):

@@ -11,7 +11,7 @@ Fenrir (planning) and Bifrost (execution) consume.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.errors import ConfigurationError
 from repro.fenrir.model import ExperimentSpec

@@ -24,7 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.errors import ConfigurationError
-from repro.fenrir.model import ExperimentSpec, SchedulingProblem
+from repro.fenrir.model import ExperimentSpec
 from repro.fenrir.schedule import Gene, Schedule
 
 

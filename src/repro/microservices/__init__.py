@@ -7,6 +7,11 @@ deployable *versions*, endpoints with latency/error behaviour and
 downstream calls, and a :class:`Runtime` that executes end-user requests
 through the topology — emitting distributed traces and telemetry exactly
 like an instrumented production system would.
+
+The resilience layer (:mod:`repro.microservices.resilience`) threads
+timeouts, retries, fallbacks, and circuit breakers through every hop;
+the fault module (:mod:`repro.microservices.faults`) provides both
+static degradations and time-windowed transient fault campaigns.
 """
 
 from repro.microservices.service import (
@@ -17,7 +22,26 @@ from repro.microservices.service import (
 )
 from repro.microservices.application import Application
 from repro.microservices.runtime import LoadTracker, RequestOutcome, Runtime
-from repro.microservices.faults import FaultInjector
+from repro.microservices.resilience import (
+    BreakerConfig,
+    BreakerState,
+    BreakerTransition,
+    CallPolicy,
+    CircuitBreaker,
+    ResilienceEvent,
+    ResilienceLayer,
+    ResilienceSummary,
+)
+from repro.microservices.faults import (
+    CampaignEvent,
+    ErrorBurst,
+    FaultCampaign,
+    FaultInjector,
+    LatencySpike,
+    NetworkState,
+    Partition,
+    VersionCrash,
+)
 from repro.microservices.generator import random_application
 
 __all__ = [
@@ -29,6 +53,21 @@ __all__ = [
     "LoadTracker",
     "RequestOutcome",
     "Runtime",
+    "BreakerConfig",
+    "BreakerState",
+    "BreakerTransition",
+    "CallPolicy",
+    "CircuitBreaker",
+    "ResilienceEvent",
+    "ResilienceLayer",
+    "ResilienceSummary",
+    "CampaignEvent",
+    "ErrorBurst",
+    "FaultCampaign",
     "FaultInjector",
+    "LatencySpike",
+    "NetworkState",
+    "Partition",
+    "VersionCrash",
     "random_application",
 ]

@@ -11,6 +11,14 @@ deployed capacity; the latency models translate load > 1 into inflated
 response times.  That single mechanism produces both effects the Bifrost
 evaluation reports: dark launches *duplicate* traffic (load up, latency
 up) while A/B tests *split* it (load down, latency down).
+
+Every hop additionally consults the :class:`ResilienceLayer`: a
+:class:`~repro.microservices.resilience.CallPolicy` can time the call
+out, retry it with seeded exponential backoff, or serve a fallback
+response; a per-(service, version) circuit breaker can reject the call
+before it reaches a failing version.  Retry latency and backoff are
+charged to the observed duration, and every resilience occurrence is
+emitted as a tagged event so trace analysis sees it.
 """
 
 from __future__ import annotations
@@ -22,6 +30,14 @@ from typing import Protocol
 
 from repro.errors import ExecutionError
 from repro.microservices.application import Application
+from repro.microservices.resilience import (
+    BREAKER_REJECT,
+    FALLBACK,
+    RETRY,
+    TIMEOUT,
+    ResilienceEvent,
+    ResilienceLayer,
+)
 from repro.simulation.clock import SimulationClock
 from repro.simulation.rng import SeededRng
 from repro.telemetry.monitor import Monitor
@@ -66,6 +82,14 @@ class StaticRouter:
 
     def route(self, request: Request, service: str) -> RoutingDecision:
         return RoutingDecision()
+
+
+class NetworkGate(Protocol):
+    """Anything that can veto the link between two services."""
+
+    def is_partitioned(self, caller: str, callee: str) -> bool:
+        """Whether calls from *caller* to *callee* currently fail."""
+        ...  # pragma: no cover - protocol
 
 
 class LoadTracker:
@@ -123,6 +147,8 @@ class Runtime:
         monitor: Monitor | None = None,
         proxy_overhead_ms: float = 2.0,
         load_window_seconds: float = 10.0,
+        resilience: ResilienceLayer | None = None,
+        network: NetworkGate | None = None,
     ) -> None:
         self.application = application
         self.router = router or StaticRouter()
@@ -132,6 +158,9 @@ class Runtime:
         self.monitor = monitor or Monitor()
         self.proxy_overhead_ms = proxy_overhead_ms
         self.load = LoadTracker(load_window_seconds)
+        self.resilience = resilience or ResilienceLayer()
+        self.resilience.subscribe(self.monitor.observe_resilience)
+        self.network = network
         self._trace_counter = itertools.count(1)
         self.requests_executed = 0
 
@@ -151,10 +180,11 @@ class Runtime:
         trace_id = f"t{next(self._trace_counter):09d}"
         spans: list[Span] = []
         versions: list[tuple[str, str]] = []
-        duration, error = self._call(
+        duration, error = self._dispatch(
             request,
             trace_id,
             parent_id=None,
+            caller=None,
             service=service,
             endpoint=endpoint,
             start=self.clock.now,
@@ -169,11 +199,105 @@ class Runtime:
         trace = Trace(trace_id, spans)
         return RequestOutcome(request, trace, duration, error, tuple(versions))
 
+    def _dispatch(
+        self,
+        request: Request,
+        trace_id: str,
+        parent_id: str | None,
+        caller: str | None,
+        service: str,
+        endpoint: str,
+        start: float,
+        depth: int,
+        shadow: bool,
+        spans: list[Span],
+        versions: list[tuple[str, str]],
+    ) -> tuple[float, bool]:
+        """Execute one hop under its :class:`CallPolicy` (if any).
+
+        Runs the call, applies the timeout, and retries failures with
+        exponential backoff plus seeded jitter; all attempt durations and
+        backoff pauses are charged to the observed duration.  When every
+        attempt failed and the policy allows it, a fallback response is
+        served instead of an error.
+        """
+        policy = self.resilience.policy_for(service, endpoint)
+        if policy is None or shadow:
+            duration, error, _ = self._call(
+                request, trace_id, parent_id, caller, service, endpoint,
+                start, depth, shadow, spans, versions,
+            )
+            return duration, error
+
+        elapsed_ms = 0.0
+        attempts = policy.max_retries + 1
+        version = ""
+        for attempt in range(attempts):
+            attempt_start = start + elapsed_ms / 1000.0
+            duration, error, version = self._call(
+                request, trace_id, parent_id, caller, service, endpoint,
+                attempt_start, depth, shadow, spans, versions,
+                attempt=attempt,
+            )
+            timed_out = (
+                policy.timeout_ms is not None and duration > policy.timeout_ms
+            )
+            if timed_out:
+                # The caller stops waiting at the timeout; the callee's
+                # span keeps its full duration but only the wait charges.
+                elapsed_ms += policy.timeout_ms
+                self.resilience.emit(
+                    ResilienceEvent(
+                        TIMEOUT,
+                        attempt_start,
+                        service,
+                        version,
+                        endpoint,
+                        attempt,
+                        detail=f"{duration:.1f}ms > {policy.timeout_ms:.1f}ms",
+                    )
+                )
+            else:
+                elapsed_ms += duration
+            if not error and not timed_out:
+                return elapsed_ms, False
+            if attempt + 1 < attempts:
+                backoff = policy.backoff_ms(attempt + 1)
+                if policy.jitter_ms > 0:
+                    backoff += self.rng.uniform(0.0, policy.jitter_ms)
+                elapsed_ms += backoff
+                self.resilience.emit(
+                    ResilienceEvent(
+                        RETRY,
+                        start + elapsed_ms / 1000.0,
+                        service,
+                        version,
+                        endpoint,
+                        attempt + 1,
+                        detail=f"backoff={backoff:.1f}ms",
+                    )
+                )
+        if policy.fallback:
+            elapsed_ms += policy.fallback_latency_ms
+            self.resilience.emit(
+                ResilienceEvent(
+                    FALLBACK,
+                    start + elapsed_ms / 1000.0,
+                    service,
+                    version,
+                    endpoint,
+                    attempts - 1,
+                )
+            )
+            return elapsed_ms, False
+        return elapsed_ms, True
+
     def _call(
         self,
         request: Request,
         trace_id: str,
         parent_id: str | None,
+        caller: str | None,
         service: str,
         endpoint: str,
         start: float,
@@ -182,8 +306,9 @@ class Runtime:
         spans: list[Span],
         versions: list[tuple[str, str]],
         forced_version: str | None = None,
-    ) -> tuple[float, bool]:
-        """Execute one service call; returns (observed duration ms, error)."""
+        attempt: int = 0,
+    ) -> tuple[float, bool, str]:
+        """Execute one attempt; returns (observed duration ms, error, version)."""
         if depth > _MAX_CALL_DEPTH:
             raise ExecutionError(
                 f"call depth exceeded {_MAX_CALL_DEPTH}; cyclic topology?"
@@ -195,6 +320,64 @@ class Runtime:
         svc = self.application.service(service)
         version_name = decision.version or svc.stable_version
         version = svc.get(version_name)
+
+        base_tags = {"group": request.group, "user": request.user_id}
+        if shadow:
+            base_tags["shadow"] = "true"
+        if attempt > 0:
+            base_tags["retry_attempt"] = str(attempt)
+
+        # Network partition: the link between caller and callee is down;
+        # the call fails before any work happens on the callee.
+        if (
+            caller is not None
+            and self.network is not None
+            and self.network.is_partitioned(caller, service)
+        ):
+            spans.append(
+                Span(
+                    span_id=next_span_id(),
+                    trace_id=trace_id,
+                    parent_id=parent_id,
+                    service=service,
+                    version=version_name,
+                    endpoint=endpoint,
+                    start=start,
+                    duration_ms=0.0,
+                    error=True,
+                    tags={**base_tags, "fault": "partition"},
+                )
+            )
+            if not shadow:
+                versions.append((service, version_name))
+            self.resilience.observe(service, version_name, start, success=False)
+            return 0.0, True, version_name
+
+        # Circuit breaker: an open breaker rejects the call outright.
+        if not self.resilience.admit(service, version_name, start):
+            spans.append(
+                Span(
+                    span_id=next_span_id(),
+                    trace_id=trace_id,
+                    parent_id=parent_id,
+                    service=service,
+                    version=version_name,
+                    endpoint=endpoint,
+                    start=start,
+                    duration_ms=0.0,
+                    error=True,
+                    tags={**base_tags, "breaker": "open"},
+                )
+            )
+            if not shadow:
+                versions.append((service, version_name))
+            self.resilience.emit(
+                ResilienceEvent(
+                    BREAKER_REJECT, start, service, version_name, endpoint, attempt
+                )
+            )
+            return 0.0, True, version_name
+
         spec = version.endpoint(endpoint)
         load = self.load.observe(
             service, version_name, start, version.total_capacity_rps
@@ -202,7 +385,8 @@ class Runtime:
         own_latency = spec.latency.sample(self.rng, load)
         proxy_cost = decision.proxy_hops * self.proxy_overhead_ms
         local_error = self.rng.random() < spec.error_rate
-        versions.append((service, version_name))
+        if not shadow:
+            versions.append((service, version_name))
         # Allocate the span id up front so children can reference their
         # parent directly.
         span_id = next_span_id()
@@ -219,10 +403,11 @@ class Runtime:
             if call.probability < 1.0 and self.rng.random() >= call.probability:
                 continue
             offset = 0.0 if spec.parallel_calls else children_duration / 1000.0
-            child_duration, failed = self._call(
+            child_duration, failed = self._dispatch(
                 request,
                 trace_id,
                 parent_id=span_id,
+                caller=service,
                 service=call.service,
                 endpoint=call.endpoint,
                 start=child_start + offset,
@@ -238,9 +423,6 @@ class Runtime:
         duration = own_latency + proxy_cost + waited
         error = local_error or child_error
 
-        tags = {"group": request.group, "user": request.user_id}
-        if shadow:
-            tags["shadow"] = "true"
         span = Span(
             span_id=span_id,
             trace_id=trace_id,
@@ -251,9 +433,12 @@ class Runtime:
             start=start,
             duration_ms=duration,
             error=error,
-            tags=tags,
+            tags=base_tags,
         )
         spans.append(span)
+        self.resilience.observe(
+            service, version_name, start + duration / 1000.0, success=not error
+        )
 
         # Dark-launch duplication: replay the same call against shadow
         # versions; their spans join the trace (tagged) but their latency
@@ -265,6 +450,7 @@ class Runtime:
                 request,
                 trace_id,
                 parent_id=span_id,
+                caller=caller,
                 service=service,
                 endpoint=endpoint,
                 start=start,
@@ -274,4 +460,4 @@ class Runtime:
                 versions=versions,
                 forced_version=shadow_version,
             )
-        return duration, error
+        return duration, error, version_name

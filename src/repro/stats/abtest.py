@@ -12,7 +12,6 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Iterable
 
 from repro.errors import StatisticsError
 from repro.stats.descriptive import mean

@@ -5,12 +5,22 @@ standard application-level metrics the dissertation's checks consume:
 ``response_time`` (ms), ``error`` (0/1 per request, so a windowed mean is
 the error rate), and ``throughput`` (1 per request, so a windowed count is
 requests served).
+
+Resilience events (retries, timeouts, fallbacks, breaker transitions)
+are recorded as ``resilience.<kind>`` count metrics per (service,
+version), so Bifrost checks and trace analysis can reason about them
+with the same windowed aggregations as any other metric.
 """
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.telemetry.store import MetricStore
 from repro.tracing.span import Span
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.microservices.resilience import ResilienceEvent
 
 
 class Monitor:
@@ -33,6 +43,25 @@ class Monitor:
         """Record metrics for many spans."""
         for span in spans:
             self.observe_span(span)
+
+    def observe_resilience(self, event: "ResilienceEvent") -> None:
+        """Record one resilience event as a count metric sample."""
+        self.store.record(
+            event.service,
+            event.version or "*",
+            f"resilience.{event.kind}",
+            event.time,
+            1.0,
+        )
+
+    def resilience_count(
+        self, service: str, version: str, kind: str, start: float, end: float
+    ) -> float:
+        """How many ``kind`` events hit (service, version) in the window."""
+        value = self.store.aggregate(
+            service, version, f"resilience.{kind}", "count", start, end
+        )
+        return value or 0.0
 
     def error_rate(
         self, service: str, version: str, start: float, end: float

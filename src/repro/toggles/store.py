@@ -11,7 +11,7 @@ practitioners synchronize via ZooKeeper-style systems.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.errors import ConfigurationError
 from repro.traffic.users import bucket_user

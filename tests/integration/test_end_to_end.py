@@ -1,6 +1,5 @@
 """Integration tests: whole subsystems working together."""
 
-import pytest
 
 from repro.bifrost import Bifrost, parse_strategy
 from repro.bifrost.model import StrategyOutcome
@@ -9,7 +8,6 @@ from repro.core.framework import ExperimentationFramework
 from repro.core.lifecycle import LifecyclePhase
 from repro.fenrir import Fenrir, GeneticAlgorithm, random_experiments
 from repro.microservices.service import (
-    DownstreamCall,
     EndpointSpec,
     ServiceVersion,
 )

@@ -45,6 +45,14 @@ class TestExamples:
         assert "canceled at" in out
         assert "Topological difference:" in out
 
+    def test_resilience_canary(self):
+        out = run_example("resilience_canary.py")
+        assert "transient burst" in out
+        assert "strategy outcome: completed" in out
+        assert "sustained crash" in out
+        assert "strategy outcome: rolled_back" in out
+        assert "non-closed breakers: catalog/2.0.0" in out
+
     def test_experiment_scheduling(self):
         out = run_example("experiment_scheduling.py", timeout=420.0)
         assert "algorithm comparison" in out

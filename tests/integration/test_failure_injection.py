@@ -7,7 +7,6 @@ inject faults *while strategies are running* and verify the system's
 reaction end to end.
 """
 
-import pytest
 
 from repro.bifrost import Bifrost
 from repro.bifrost.model import (

@@ -2,13 +2,13 @@
 
 import math
 
-from hypothesis import assume, given, settings
+from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.fenrir.fitness import evaluate
 from repro.fenrir.model import ExperimentSpec, SchedulingProblem
 from repro.fenrir.operators import pack_repair, random_schedule, repair_gene
-from repro.fenrir.schedule import Gene, Schedule
+from repro.fenrir.schedule import Gene
 from repro.simulation.executor import SimulatedExecutor
 from repro.simulation.rng import SeededRng
 from repro.stats.descriptive import mean, median, moving_average, percentile, stddev

@@ -1,0 +1,202 @@
+"""Unit tests for fault composition, single-fault reversal, and campaigns."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.microservices.faults import (
+    ErrorBurst,
+    FaultCampaign,
+    FaultInjector,
+    LatencySpike,
+    NetworkState,
+    Partition,
+    VersionCrash,
+    _ScaledLatency,
+)
+from repro.simulation.engine import SimulationEngine
+from repro.simulation.latency import ConstantLatency
+
+
+class TestInjectorComposition:
+    def test_double_degrade_composes_factors(self, tiny_app):
+        injector = FaultInjector(tiny_app)
+        injector.degrade("backend", "1.0.0", "api", latency_factor=2.0)
+        injector.degrade("backend", "1.0.0", "api", latency_factor=3.0)
+        spec = tiny_app.resolve("backend").endpoint("api")
+        # One wrapper around the pristine model, never wrapper-on-wrapper.
+        assert isinstance(spec.latency, _ScaledLatency)
+        assert isinstance(spec.latency.base, ConstantLatency)
+        assert spec.latency.factor == pytest.approx(6.0)
+
+    def test_double_degrade_sums_error_rates(self, tiny_app):
+        injector = FaultInjector(tiny_app)
+        injector.degrade("backend", "1.0.0", "api", added_error_rate=0.4)
+        injector.degrade("backend", "1.0.0", "api", added_error_rate=0.8)
+        spec = tiny_app.resolve("backend").endpoint("api")
+        assert spec.error_rate == pytest.approx(1.0)  # clamped
+
+    def test_restore_single_fault(self, tiny_app):
+        injector = FaultInjector(tiny_app)
+        first = injector.degrade("backend", "1.0.0", "api", latency_factor=2.0)
+        injector.degrade("backend", "1.0.0", "api", latency_factor=3.0)
+        injector.restore(first)
+        spec = tiny_app.resolve("backend").endpoint("api")
+        assert spec.latency.factor == pytest.approx(3.0)
+        assert len(injector.faults) == 1
+
+    def test_restore_last_fault_recovers_pristine_spec(self, tiny_app):
+        pristine = tiny_app.resolve("backend").endpoint("api")
+        injector = FaultInjector(tiny_app)
+        fault = injector.degrade("backend", "1.0.0", "api", latency_factor=5.0)
+        injector.restore(fault)
+        assert tiny_app.resolve("backend").endpoint("api") is pristine
+
+    def test_restore_unknown_fault_rejected(self, tiny_app):
+        injector = FaultInjector(tiny_app)
+        fault = injector.degrade("backend", "1.0.0", "api", latency_factor=2.0)
+        injector.restore(fault)
+        with pytest.raises(ConfigurationError):
+            injector.restore(fault)
+
+    def test_restore_all_counts_and_recovers(self, tiny_app):
+        injector = FaultInjector(tiny_app)
+        injector.degrade("backend", "1.0.0", "api", latency_factor=2.0)
+        injector.degrade("frontend", "1.0.0", "home", added_error_rate=0.2)
+        assert injector.restore_all() == 2
+        assert injector.faults == []
+        assert tiny_app.resolve("backend").endpoint("api").error_rate == 0.0
+
+    def test_degrade_preserves_parallel_calls_flag(self, tiny_app):
+        version = tiny_app.resolve("frontend")
+        spec = version.endpoint("home")
+        version.endpoints["home"] = type(spec)(
+            name=spec.name,
+            latency=spec.latency,
+            error_rate=spec.error_rate,
+            calls=spec.calls,
+            parallel_calls=True,
+        )
+        injector = FaultInjector(tiny_app)
+        injector.degrade("frontend", "1.0.0", "home", latency_factor=2.0)
+        assert tiny_app.resolve("frontend").endpoint("home").parallel_calls
+
+
+class TestNetworkState:
+    def test_partition_is_symmetric(self):
+        network = NetworkState()
+        network.partition("a", "b")
+        assert network.is_partitioned("a", "b")
+        assert network.is_partitioned("b", "a")
+        assert not network.is_partitioned("a", "c")
+
+    def test_heal(self):
+        network = NetworkState()
+        network.partition("a", "b")
+        network.heal("b", "a")
+        assert not network.is_partitioned("a", "b")
+
+    def test_self_partition_rejected(self):
+        with pytest.raises(ConfigurationError):
+            NetworkState().partition("a", "a")
+
+    def test_partitions_listing(self):
+        network = NetworkState()
+        network.partition("b", "a")
+        network.partition("c", "d")
+        assert network.partitions == [("a", "b"), ("c", "d")]
+
+
+class TestFaultCampaign:
+    def test_window_validation(self, tiny_app):
+        campaign = FaultCampaign(FaultInjector(tiny_app))
+        with pytest.raises(ConfigurationError):
+            campaign.add(ErrorBurst("backend", "1.0.0", "api", 0.5, 10.0, 10.0))
+        with pytest.raises(ConfigurationError):
+            campaign.add(ErrorBurst("backend", "1.0.0", "api", 0.5, -1.0, 10.0))
+
+    def test_partition_requires_network(self, tiny_app):
+        campaign = FaultCampaign(FaultInjector(tiny_app))
+        with pytest.raises(ConfigurationError):
+            campaign.add(Partition("frontend", "backend", 0.0, 10.0))
+
+    def test_error_burst_window(self, tiny_app):
+        simulation = SimulationEngine()
+        injector = FaultInjector(tiny_app)
+        campaign = FaultCampaign(injector)
+        campaign.add(ErrorBurst("backend", "1.0.0", "api", 0.5, 10.0, 20.0))
+        assert campaign.install(simulation) == 2
+
+        simulation.run_until(5.0)
+        assert tiny_app.resolve("backend").endpoint("api").error_rate == 0.0
+        simulation.run_until(15.0)
+        assert tiny_app.resolve("backend").endpoint("api").error_rate == pytest.approx(0.5)
+        simulation.run_until(25.0)
+        assert tiny_app.resolve("backend").endpoint("api").error_rate == 0.0
+        assert [e.action for e in campaign.log] == ["activate", "revert"]
+        assert [e.time for e in campaign.log] == [10.0, 20.0]
+
+    def test_latency_spike_window(self, tiny_app):
+        simulation = SimulationEngine()
+        campaign = FaultCampaign(FaultInjector(tiny_app))
+        campaign.add(LatencySpike("backend", "1.0.0", "api", 4.0, 5.0, 8.0))
+        campaign.install(simulation)
+        simulation.run_until(6.0)
+        assert tiny_app.resolve("backend").endpoint("api").latency.factor == 4.0
+        simulation.run_until(9.0)
+        assert isinstance(
+            tiny_app.resolve("backend").endpoint("api").latency, ConstantLatency
+        )
+
+    def test_version_crash_hits_all_endpoints(self, canary_app):
+        simulation = SimulationEngine()
+        campaign = FaultCampaign(FaultInjector(canary_app))
+        campaign.add(VersionCrash("backend", "2.0.0", 1.0, 3.0))
+        campaign.install(simulation)
+        simulation.run_until(2.0)
+        assert canary_app.resolve("backend", "2.0.0").endpoint("api").error_rate == 1.0
+        # The stable version is untouched.
+        assert canary_app.resolve("backend", "1.0.0").endpoint("api").error_rate == 0.0
+        simulation.run_until(4.0)
+        assert canary_app.resolve("backend", "2.0.0").endpoint("api").error_rate == 0.0
+
+    def test_partition_window(self, tiny_app):
+        simulation = SimulationEngine()
+        network = NetworkState()
+        campaign = FaultCampaign(FaultInjector(tiny_app), network=network)
+        campaign.add(Partition("frontend", "backend", 2.0, 4.0))
+        campaign.install(simulation)
+        simulation.run_until(3.0)
+        assert network.is_partitioned("frontend", "backend")
+        simulation.run_until(5.0)
+        assert not network.is_partitioned("frontend", "backend")
+
+    def test_overlapping_faults_compose(self, tiny_app):
+        simulation = SimulationEngine()
+        campaign = FaultCampaign(FaultInjector(tiny_app))
+        campaign.add(LatencySpike("backend", "1.0.0", "api", 2.0, 0.0, 10.0))
+        campaign.add(LatencySpike("backend", "1.0.0", "api", 3.0, 5.0, 15.0))
+        campaign.install(simulation)
+        simulation.run_until(7.0)
+        assert tiny_app.resolve("backend").endpoint("api").latency.factor == pytest.approx(6.0)
+        simulation.run_until(12.0)
+        assert tiny_app.resolve("backend").endpoint("api").latency.factor == pytest.approx(3.0)
+        simulation.run_until(20.0)
+        assert isinstance(
+            tiny_app.resolve("backend").endpoint("api").latency, ConstantLatency
+        )
+
+    def test_active_at(self, tiny_app):
+        campaign = FaultCampaign(FaultInjector(tiny_app))
+        burst = campaign.add(ErrorBurst("backend", "1.0.0", "api", 0.5, 10.0, 20.0))
+        assert campaign.active_at(15.0) == [burst]
+        assert campaign.active_at(25.0) == []
+
+    def test_install_twice_rejected(self, tiny_app):
+        simulation = SimulationEngine()
+        campaign = FaultCampaign(FaultInjector(tiny_app))
+        campaign.add(ErrorBurst("backend", "1.0.0", "api", 0.5, 1.0, 2.0))
+        campaign.install(simulation)
+        with pytest.raises(ConfigurationError):
+            campaign.install(simulation)
+        with pytest.raises(ConfigurationError):
+            campaign.add(ErrorBurst("backend", "1.0.0", "api", 0.5, 3.0, 4.0))

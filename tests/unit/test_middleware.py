@@ -1,6 +1,5 @@
 """Unit tests for the Bifrost middleware facade."""
 
-import pytest
 
 from repro.bifrost import Bifrost
 from repro.bifrost.model import Phase, PhaseType, Strategy, StrategyOutcome

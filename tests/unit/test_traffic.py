@@ -9,7 +9,6 @@ from repro.traffic.profile import (
     UserGroup,
     consumption_series,
     diurnal_profile,
-    flat_profile,
 )
 from repro.traffic.users import UserPopulation, bucket_user, in_rollout
 from repro.traffic.workload import WorkloadGenerator

@@ -1,8 +1,7 @@
 """Unit tests for static experiment verification."""
 
-import pytest
 
-from repro.bifrost.model import Check, Phase, PhaseType, Strategy
+from repro.bifrost.model import Check, Strategy
 from repro.routing.proxy import VersionRouter
 from repro.routing.rules import ExperimentRoute
 from repro.routing.splitter import canary_split
