@@ -8,6 +8,12 @@ rollout).  Strategies are written in a domain-specific language
 configure traffic routing and whose transitions are driven by periodic
 health *checks* over runtime metrics; fallback transitions trigger
 automated rollbacks when irregularities are spotted.
+
+The durability layer (:mod:`repro.bifrost.journal`,
+:mod:`repro.bifrost.recovery`) makes the engine itself crash-safe: every
+durable decision is written ahead to a journal, folded into periodic
+snapshots, and a supervisor recovers a killed engine so running
+experiments survive their infrastructure.
 """
 
 from repro.bifrost.model import (
@@ -19,12 +25,31 @@ from repro.bifrost.model import (
     Strategy,
     StrategyOutcome,
 )
-from repro.bifrost.dsl import parse_strategies, parse_strategy, strategy_to_dsl
+from repro.bifrost.dsl import (
+    parse_file,
+    parse_strategies,
+    parse_strategy,
+    strategy_to_dsl,
+)
 from repro.bifrost.state_machine import StateMachine, StrategyState
 from repro.bifrost.checks import CheckEvaluator
 from repro.bifrost.engine import BifrostEngine, StrategyExecution
+from repro.bifrost.journal import (
+    FileJournalStorage,
+    Journal,
+    MemoryJournalStorage,
+    Snapshot,
+    SnapshotPolicy,
+    SnapshotStore,
+)
 from repro.bifrost.middleware import Bifrost
 from repro.bifrost.preview import LivePreview, MetricDelta
+from repro.bifrost.recovery import (
+    EngineSupervisor,
+    RecoveryManager,
+    RecoveryReport,
+    RestartPolicy,
+)
 
 __all__ = [
     "Action",
@@ -34,6 +59,7 @@ __all__ = [
     "PhaseType",
     "Strategy",
     "StrategyOutcome",
+    "parse_file",
     "parse_strategies",
     "parse_strategy",
     "strategy_to_dsl",
@@ -42,7 +68,17 @@ __all__ = [
     "CheckEvaluator",
     "BifrostEngine",
     "StrategyExecution",
+    "FileJournalStorage",
+    "Journal",
+    "MemoryJournalStorage",
+    "Snapshot",
+    "SnapshotPolicy",
+    "SnapshotStore",
     "Bifrost",
     "LivePreview",
     "MetricDelta",
+    "EngineSupervisor",
+    "RecoveryManager",
+    "RecoveryReport",
+    "RestartPolicy",
 ]

@@ -39,6 +39,7 @@ tripping is loss-free for every field the DSL exposes.
 
 from __future__ import annotations
 
+import os
 from repro.errors import DSLError
 from repro.bifrost.model import Check, Phase, PhaseType, Strategy
 
@@ -97,6 +98,22 @@ def parse_strategies(text: str) -> list[Strategy]:
     if len(set(names)) != len(names):
         raise DSLError(f"duplicate strategy names in file: {names}")
     return strategies
+
+
+def parse_file(path: str | os.PathLike) -> list[Strategy]:
+    """Parse a strategy file from disk.
+
+    The file-level entry point of experimentation-as-code: strategies
+    live in versioned ``.bifrost`` files next to the service code.  All
+    parse problems surface as :class:`DSLError` — including an unreadable
+    path, so callers handle one error type for "bad strategy file".
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            text = handle.read()
+    except OSError as exc:
+        raise DSLError(f"cannot read strategy file {os.fspath(path)!r}: {exc}") from exc
+    return parse_strategies(text)
 
 
 def parse_strategy(text: str) -> Strategy:

@@ -8,12 +8,24 @@ rolling back on failure, and re-executing on inconclusive data.
 Engine work (check evaluations, route updates) is charged to a
 :class:`~repro.simulation.executor.SimulatedExecutor`, which yields the
 CPU-utilization and check-delay measurements of Figs 4.7–4.10.
+
+When wired with a write-ahead journal (:mod:`repro.bifrost.journal`),
+every durable decision — submissions, phase entries, check rounds,
+transitions, route installs, finalizations — is appended to the log
+before the engine acts on it, and snapshots are taken on the journal's
+cadence.  A killed engine (:meth:`BifrostEngine.kill`) stops processing
+events; :meth:`BifrostEngine.adopt` lets a recovered successor resume
+executions, replaying decision points missed during the outage at their
+*original* simulated timestamps so the recovered timeline matches the
+crash-free one.
 """
 
 from __future__ import annotations
 
+import heapq
 import itertools
 from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Callable
 
 from repro.errors import ExecutionError
 from repro.bifrost.checks import CheckEvaluator, CheckResult
@@ -30,6 +42,8 @@ from repro.bifrost.model import (
     PhaseType,
     Strategy,
     StrategyOutcome,
+    check_to_dict,
+    strategy_to_dict,
 )
 from repro.bifrost.state_machine import StateMachine
 from repro.microservices.application import Application
@@ -44,6 +58,10 @@ from repro.routing.splitter import (
 from repro.simulation.engine import SimulationEngine
 from repro.simulation.executor import SimulatedExecutor
 from repro.telemetry.store import MetricStore
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.bifrost.journal import Journal, SnapshotStore
+    from repro.toggles.store import ToggleStore
 
 
 @dataclass(frozen=True)
@@ -92,6 +110,8 @@ class StrategyExecution:
     phase_first_entered: dict[str, float] = field(default_factory=dict)
     evaluation_errors: int = 0
     deadline_exceeded: str | None = None
+    last_tick_at: float | None = None
+    phase_entries: int = 0
 
     @property
     def running(self) -> bool:
@@ -102,6 +122,33 @@ class StrategyExecution:
     def current_phase(self) -> Phase:
         """The phase the execution currently runs."""
         return self.strategy.phase(self.state)
+
+
+class _CatchupQueue:
+    """Decision points missed during an outage, replayed in time order.
+
+    During recovery the engine drains this queue instead of the
+    simulation: each entry runs with the engine's logical clock pinned to
+    the entry's original timestamp, so check evaluations and transitions
+    land exactly where the crash-free run would have put them.
+    """
+
+    def __init__(self, horizon: float) -> None:
+        self.horizon = horizon
+        self._heap: list[tuple[float, int, Callable[[], None]]] = []
+        self._seq = itertools.count()
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def push(self, time: float, callback: Callable[[], None]) -> None:
+        """Queue *callback* for logical time *time*."""
+        heapq.heappush(self._heap, (time, next(self._seq), callback))
+
+    def pop(self) -> tuple[float, Callable[[], None]]:
+        """Remove and return the earliest ``(time, callback)``."""
+        time, _, callback = heapq.heappop(self._heap)
+        return time, callback
 
 
 class BifrostEngine:
@@ -115,6 +162,9 @@ class BifrostEngine:
         store: MetricStore,
         costs: EngineCosts | None = None,
         executor: SimulatedExecutor | None = None,
+        journal: "Journal | None" = None,
+        snapshots: "SnapshotStore | None" = None,
+        toggles: "ToggleStore | None" = None,
     ) -> None:
         self.simulation = simulation
         self.application = application
@@ -124,7 +174,109 @@ class BifrostEngine:
         self.executor = executor or SimulatedExecutor()
         self.evaluator = CheckEvaluator(store)
         self.executions: list[StrategyExecution] = []
+        self.journal = journal
+        self.snapshots = snapshots
+        self.toggles = toggles
         self._counter = itertools.count(1)
+        self._alive = True
+        self._catchup: _CatchupQueue | None = None
+        self._now_override: float | None = None
+
+    # -- liveness and durability plumbing ----------------------------------
+
+    @property
+    def alive(self) -> bool:
+        """Whether the engine still processes events."""
+        return self._alive
+
+    def kill(self) -> None:
+        """Simulate an engine crash: drop all future event processing.
+
+        Every event the engine has scheduled is guarded by its liveness,
+        so pending ticks, deadlines, and starts become no-ops.  In-memory
+        execution state is considered lost; only the journal, snapshots,
+        and the surviving data plane (router, stores) remain.
+        """
+        self._alive = False
+
+    @property
+    def _now(self) -> float:
+        """The engine's logical clock (pinned during catch-up replay)."""
+        if self._now_override is not None:
+            return self._now_override
+        return self.simulation.now
+
+    def _schedule_at(
+        self, time: float, callback: Callable[[], None], label: str = ""
+    ) -> None:
+        """Schedule engine work, guarded by liveness.
+
+        During recovery, work due at or before the catch-up horizon is
+        replayed from the catch-up queue at its original logical time
+        instead of being scheduled on the (already later) simulation.
+        """
+        if not self._alive:
+            return
+        if self._catchup is not None and time <= self._catchup.horizon + 1e-9:
+            self._catchup.push(time, callback)
+            return
+
+        def guarded() -> None:
+            if self._alive:
+                callback()
+
+        self.simulation.schedule_at(
+            max(time, self.simulation.now), guarded, label=label
+        )
+
+    def _journal_append(self, kind: str, data: dict) -> None:
+        """Append a journal record (no-op without a journal) and maybe
+        fold the log into a snapshot per the snapshot policy."""
+        if self.journal is None:
+            return
+        self.journal.append(kind, self._now, data)
+        if self.snapshots is not None and self.snapshots.note_append():
+            self.take_snapshot()
+
+    def take_snapshot(self) -> None:
+        """Fold current engine state into a snapshot checkpoint."""
+        if self.journal is None or self.snapshots is None:
+            return
+        from repro.bifrost.journal import (
+            SCHEMA_VERSION,
+            Snapshot,
+            execution_to_dict,
+        )
+
+        routes = []
+        for service in sorted(self.router.routed_services):
+            route = self.router.active_route(service)
+            if route is None:
+                continue
+            routes.append(
+                {
+                    "experiment": route.experiment,
+                    "service": route.service,
+                    "variants": [
+                        {"version": v.version, "fraction": v.fraction}
+                        for v in route.variants
+                    ],
+                    "audience_groups": sorted(route.audience.groups),
+                    "shadow_versions": list(route.shadow_versions),
+                }
+            )
+        snapshot = Snapshot(
+            schema_version=SCHEMA_VERSION,
+            time=self._now,
+            last_lsn=self.journal.last_lsn,
+            executions=tuple(execution_to_dict(e) for e in self.executions),
+            metrics=self.store.snapshot(),
+            toggles=self.toggles.snapshot() if self.toggles is not None else None,
+            routes=tuple(routes),
+        )
+        self.snapshots.save(snapshot)
+        if self.snapshots.policy.compact:
+            self.journal.compact(snapshot.last_lsn)
 
     def submit(self, strategy: Strategy, at: float | None = None) -> StrategyExecution:
         """Register *strategy* to start at time *at* (default: now).
@@ -133,6 +285,10 @@ class BifrostEngine:
         not deployed — a misconfigured experiment must never take down
         the engine mid-simulation.
         """
+        if not self._alive:
+            raise ExecutionError(
+                "engine is down; wait for the supervisor to restart it"
+            )
         start = self.simulation.now if at is None else at
         if start < self.simulation.now:
             raise ExecutionError(
@@ -161,8 +317,11 @@ class BifrostEngine:
             started_at=start,
             phase_started_at=start,
         )
+        self._journal_append(
+            "submitted", {"strategy": strategy_to_dict(strategy), "start": start}
+        )
         self.executions.append(execution)
-        self.simulation.schedule_at(
+        self._schedule_at(
             start,
             lambda: self._enter_phase(execution, strategy.entry.name),
             label=f"start:{strategy.name}",
@@ -174,28 +333,35 @@ class BifrostEngine:
     def _enter_phase(self, execution: StrategyExecution, phase_name: str) -> None:
         if not execution.running:
             return
+        now = self._now
         execution.state = phase_name
-        execution.phase_started_at = self.simulation.now
+        execution.phase_started_at = now
         execution.rollout_step = -1
         execution.check_next_due = {}
         execution.check_last = {}
+        execution.last_tick_at = None
+        execution.phase_entries += 1
         phase = execution.current_phase
-        if (
-            phase.deadline_seconds is not None
-            and phase_name not in execution.phase_first_entered
-        ):
-            # The watchdog arms once per phase *name*: repeats share the
-            # same time budget instead of resetting it, so an endlessly
-            # inconclusive phase cannot stall the strategy.
-            execution.phase_first_entered[phase_name] = self.simulation.now
-            self.simulation.schedule_in(
-                phase.deadline_seconds,
+        self._journal_append(
+            "phase_entered",
+            {"strategy": execution.strategy.name, "phase": phase_name},
+        )
+        if phase.deadline_seconds is not None:
+            # The watchdog is measured from the phase *name*'s first
+            # entry: repeats share the same time budget instead of
+            # resetting it, so an endlessly inconclusive phase cannot
+            # stall the strategy.  Re-arming on every entry keeps the
+            # watchdog alive across engine restarts; duplicate firings
+            # are no-ops once the first one transitioned.
+            first = execution.phase_first_entered.setdefault(phase_name, now)
+            self._schedule_at(
+                first + phase.deadline_seconds,
                 lambda: self._deadline_expired(execution, phase_name),
                 label=f"deadline:{execution.strategy.name}:{phase_name}",
             )
         self._install_route(execution, phase)
         self.executor.submit(
-            self.simulation.now, self.costs.route_update,
+            now, self.costs.route_update,
             label=f"{execution.strategy.name}:route",
         )
         self._schedule_tick(execution, phase)
@@ -205,9 +371,19 @@ class BifrostEngine:
         if not execution.running or execution.state != phase_name:
             return
         execution.deadline_exceeded = phase_name
+        self._journal_append(
+            "transition",
+            {
+                "strategy": execution.strategy.name,
+                "source": phase_name,
+                "target": TERMINAL_ROLLBACK,
+                "trigger": "deadline",
+                "action": Action.ROLLBACK.value,
+            },
+        )
         execution.transitions.append(
             TransitionRecord(
-                self.simulation.now,
+                self._now,
                 phase_name,
                 TERMINAL_ROLLBACK,
                 "deadline",
@@ -217,8 +393,8 @@ class BifrostEngine:
         self._finalize(execution, TERMINAL_ROLLBACK)
 
     def _schedule_tick(self, execution: StrategyExecution, phase: Phase) -> None:
-        self.simulation.schedule_in(
-            phase.check_interval_seconds,
+        self._schedule_at(
+            self._now + phase.check_interval_seconds,
             lambda: self._tick(execution),
             label=f"tick:{execution.strategy.name}:{phase.name}",
         )
@@ -226,8 +402,9 @@ class BifrostEngine:
     def _tick(self, execution: StrategyExecution) -> None:
         if not execution.running:
             return
-        now = self.simulation.now
+        now = self._now
         phase = execution.current_phase
+        execution.last_tick_at = now
         # Fig 4.3's time-based execution: every check carries its own
         # evaluation interval (defaulting to the phase's), so only the
         # checks that are *due* run this tick.
@@ -246,19 +423,44 @@ class BifrostEngine:
         # trouble) must not take the engine down mid-simulation: it
         # counts as inconclusive and is retried on the next due tick.
         results = []
+        errors = 0
         for check in due:
             try:
                 results.append(self.evaluator.evaluate(check, now))
             except ExecutionError:
-                execution.evaluation_errors += 1
+                errors += 1
                 results.append(
                     CheckResult(check, now, CheckOutcome.INCONCLUSIVE, None, None)
                 )
+        execution.evaluation_errors += errors
         execution.check_log.extend(results)
+        journal_checks = []
         for check, result in zip(due, results):
             execution.check_last[check.name] = result.outcome
             interval = check.interval_seconds or phase.check_interval_seconds
             execution.check_next_due[check.name] = now + interval
+            journal_checks.append(
+                {
+                    "check": check_to_dict(check),
+                    "outcome": result.outcome.value,
+                    "observed": result.observed,
+                    "reference": result.reference,
+                    "next_due": now + interval,
+                }
+            )
+        # The check round is journaled before the transition it may
+        # trigger: a crash (or torn write) between the two leaves a
+        # decisive round without a recorded decision — recovery detects
+        # exactly that and degrades the round to inconclusive.
+        self._journal_append(
+            "tick",
+            {
+                "strategy": execution.strategy.name,
+                "phase": phase.name,
+                "checks": journal_checks,
+                "errors": errors,
+            },
+        )
 
         if any(result.outcome is CheckOutcome.FAIL for result in results):
             self._transition(execution, phase, "failure")
@@ -283,6 +485,13 @@ class BifrostEngine:
                 return
             if phase.type is PhaseType.AB_TEST:
                 execution.winner = self._pick_winner(execution, phase)
+                self._journal_append(
+                    "winner",
+                    {
+                        "strategy": execution.strategy.name,
+                        "version": execution.winner,
+                    },
+                )
             self._transition(execution, phase, "success")
             return
         self._schedule_tick(execution, phase)
@@ -316,7 +525,7 @@ class BifrostEngine:
             "throughput",
             "count",
             execution.phase_started_at,
-            self.simulation.now,
+            self._now,
         )
         return (served or 0.0) >= phase.min_samples
 
@@ -324,7 +533,7 @@ class BifrostEngine:
         """Compare the two A/B variants on the phase's winner metric."""
         assert phase.second_version is not None
         start = execution.phase_started_at
-        now = self.simulation.now
+        now = self._now
         values = {}
         for version in (phase.experimental_version, phase.second_version):
             values[version] = self.store.aggregate(
@@ -356,9 +565,17 @@ class BifrostEngine:
         step = min(int(elapsed / step_duration), len(phase.steps) - 1)
         if step != execution.rollout_step:
             execution.rollout_step = step
+            self._journal_append(
+                "rollout",
+                {
+                    "strategy": execution.strategy.name,
+                    "phase": phase.name,
+                    "step": step,
+                },
+            )
             self._install_route(execution, phase)
             self.executor.submit(
-                self.simulation.now,
+                self._now,
                 self.costs.route_update,
                 label=f"{execution.strategy.name}:rollout-step",
             )
@@ -379,17 +596,37 @@ class BifrostEngine:
                 trigger = "failure"
             else:
                 execution.repeats[phase.name] = used + 1
+                self._journal_append(
+                    "transition",
+                    {
+                        "strategy": execution.strategy.name,
+                        "source": phase.name,
+                        "target": phase.name,
+                        "trigger": "inconclusive",
+                        "action": Action.REPEAT.value,
+                    },
+                )
                 execution.transitions.append(
                     TransitionRecord(
-                        self.simulation.now, phase.name, phase.name,
+                        self._now, phase.name, phase.name,
                         "inconclusive", Action.REPEAT,
                     )
                 )
                 self._enter_phase(execution, phase.name)
                 return
         action = self._action_for(target, trigger)
+        self._journal_append(
+            "transition",
+            {
+                "strategy": execution.strategy.name,
+                "source": phase.name,
+                "target": target,
+                "trigger": trigger,
+                "action": action.value,
+            },
+        )
         execution.transitions.append(
-            TransitionRecord(self.simulation.now, phase.name, target, trigger, action)
+            TransitionRecord(self._now, phase.name, target, trigger, action)
         )
         if target in TERMINAL_STATES:
             self._finalize(execution, target)
@@ -407,14 +644,15 @@ class BifrostEngine:
 
     def _finalize(self, execution: StrategyExecution, terminal: str) -> None:
         execution.state = terminal
-        execution.finished_at = self.simulation.now
+        execution.finished_at = self._now
         for service in execution.strategy.services:
             self.router.uninstall(service)
         self.executor.submit(
-            self.simulation.now,
+            self._now,
             self.costs.route_update,
             label=f"{execution.strategy.name}:teardown",
         )
+        promoted: str | None = None
         if terminal == TERMINAL_COMPLETE:
             execution.outcome = StrategyOutcome.COMPLETED
             final_phase = execution.strategy.phases[-1]
@@ -424,10 +662,20 @@ class BifrostEngine:
             service = self.application.service(final_phase.service)
             if service.has_version(winner):
                 service.promote(winner)
+                promoted = winner
         elif terminal == TERMINAL_ROLLBACK:
             execution.outcome = StrategyOutcome.ROLLED_BACK
         else:
             execution.outcome = StrategyOutcome.ABORTED
+        self._journal_append(
+            "finalized",
+            {
+                "strategy": execution.strategy.name,
+                "terminal": terminal,
+                "outcome": execution.outcome.value,
+                "promoted": promoted,
+            },
+        )
 
     # -- routing -----------------------------------------------------------
 
@@ -471,6 +719,128 @@ class BifrostEngine:
             shadow_versions=shadow,
         )
         self.router.install(route)
+        self._journal_append(
+            "route",
+            {
+                "strategy": execution.strategy.name,
+                "service": phase.service,
+                "phase": phase.name,
+                "step": execution.rollout_step,
+            },
+        )
+
+    # -- recovery ----------------------------------------------------------
+
+    def adopt(self, executions: list[StrategyExecution]) -> list[str]:
+        """Attach recovered *executions* and resume the running ones.
+
+        Decision points that fell into the outage window (missed check
+        ticks, expired deadlines, pending phase starts) are replayed in
+        time order with the logical clock pinned to their original
+        timestamps — telemetry kept flowing while the engine was down,
+        so late evaluations see exactly the data the crash-free run saw,
+        and the recovered transition log lines up with it.
+
+        Routes of running phases are re-installed exactly once (guarded
+        against phases that finish during catch-up).  A strategy whose
+        journal shows a decisive check round without the transition it
+        must have triggered had its phase outcome in flight when the
+        engine died; that round is degraded to *inconclusive* and the
+        phase re-executed per the conditional chaining.  Returns the
+        names of those in-flight strategies.
+        """
+        inflight: list[str] = []
+        queue = _CatchupQueue(self.simulation.now)
+        self._catchup = queue
+        try:
+            for execution in executions:
+                self.executions.append(execution)
+                if not execution.running:
+                    continue
+                name = execution.strategy.name
+                if execution.phase_entries == 0:
+                    # Submitted, never started: (re)schedule the start.
+                    entry = execution.strategy.entry.name
+                    self._schedule_at(
+                        execution.started_at,
+                        lambda e=execution, p=entry: self._enter_phase(e, p),
+                        label=f"start:{name}",
+                    )
+                    continue
+                phase = execution.current_phase
+                decisive_fail = CheckOutcome.FAIL in execution.check_last.values()
+                decisive_done = (
+                    execution.last_tick_at is not None
+                    and execution.last_tick_at - execution.phase_started_at + 1e-9
+                    >= phase.duration_seconds
+                )
+                if decisive_fail or decisive_done:
+                    inflight.append(name)
+                    at = (
+                        execution.last_tick_at
+                        if execution.last_tick_at is not None
+                        else self.simulation.now
+                    )
+                    self._schedule_at(
+                        at,
+                        lambda e=execution, p=phase: self._transition(
+                            e, p, "inconclusive"
+                        ),
+                        label=f"inflight:{name}",
+                    )
+                    continue
+                self._schedule_at(
+                    queue.horizon,
+                    lambda e=execution, p=phase.name: self._reinstall_route(e, p),
+                    label=f"recover-route:{name}",
+                )
+                if (
+                    phase.deadline_seconds is not None
+                    and phase.name in execution.phase_first_entered
+                ):
+                    self._schedule_at(
+                        execution.phase_first_entered[phase.name]
+                        + phase.deadline_seconds,
+                        lambda e=execution, p=phase.name: self._deadline_expired(
+                            e, p
+                        ),
+                        label=f"deadline:{name}:{phase.name}",
+                    )
+                next_tick = (
+                    execution.last_tick_at
+                    if execution.last_tick_at is not None
+                    else execution.phase_started_at
+                ) + phase.check_interval_seconds
+                self._schedule_at(
+                    next_tick,
+                    lambda e=execution: self._tick(e),
+                    label=f"tick:{name}:{phase.name}",
+                )
+            while queue:
+                time, callback = queue.pop()
+                self._now_override = time
+                callback()
+                self._now_override = None
+        finally:
+            self._now_override = None
+            self._catchup = None
+        return inflight
+
+    def _reinstall_route(self, execution: StrategyExecution, phase_name: str) -> None:
+        """Idempotently re-install a resumed phase's route.
+
+        Skipped when catch-up already moved the execution out of the
+        phase (or finished it) — the transition installed or tore down
+        the routes itself.
+        """
+        if not execution.running or execution.state != phase_name:
+            return
+        self._install_route(execution, execution.current_phase)
+        self.executor.submit(
+            self._now,
+            self.costs.route_update,
+            label=f"{execution.strategy.name}:recover-route",
+        )
 
     # -- operator actions ------------------------------------------------------
 
@@ -484,9 +854,19 @@ class BifrostEngine:
         for execution in self.executions:
             if execution.strategy.name == strategy_name:
                 if execution.running:
+                    self._journal_append(
+                        "transition",
+                        {
+                            "strategy": strategy_name,
+                            "source": execution.state,
+                            "target": TERMINAL_ABORT,
+                            "trigger": "canceled",
+                            "action": Action.ABORT.value,
+                        },
+                    )
                     execution.transitions.append(
                         TransitionRecord(
-                            self.simulation.now,
+                            self._now,
                             execution.state,
                             TERMINAL_ABORT,
                             "canceled",

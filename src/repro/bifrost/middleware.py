@@ -12,16 +12,20 @@ from __future__ import annotations
 
 from typing import Iterable
 
+from repro.errors import ConfigurationError
 from repro.bifrost.dsl import parse_strategy
 from repro.bifrost.engine import BifrostEngine, EngineCosts, StrategyExecution
+from repro.bifrost.journal import Journal, SnapshotPolicy, SnapshotStore
 from repro.bifrost.model import Strategy, StrategyOutcome
+from repro.bifrost.recovery import EngineSupervisor, RestartPolicy
 from repro.microservices.application import Application
-from repro.microservices.faults import FaultCampaign, NetworkState
+from repro.microservices.faults import EngineCrash, FaultCampaign, NetworkState
 from repro.microservices.resilience import ResilienceLayer
 from repro.microservices.runtime import RequestOutcome, Runtime
 from repro.routing.proxy import VersionRouter
 from repro.simulation.clock import SimulationClock
 from repro.simulation.engine import SimulationEngine
+from repro.toggles.store import ToggleStore
 from repro.traffic.workload import Request
 
 
@@ -36,12 +40,18 @@ class Bifrost:
         costs: EngineCosts | None = None,
         resilience: ResilienceLayer | None = None,
         network: NetworkState | None = None,
+        durable: bool = False,
+        journal: Journal | None = None,
+        snapshot_policy: SnapshotPolicy | None = None,
+        restart_policy: RestartPolicy | None = None,
+        toggles: ToggleStore | None = None,
     ) -> None:
         self.application = application
         self.clock = SimulationClock()
         self.simulation = SimulationEngine(self.clock)
         self.router = VersionRouter()
         self.network = network
+        self.toggles = toggles
         self.runtime = Runtime(
             application,
             router=self.router,
@@ -51,14 +61,55 @@ class Bifrost:
             resilience=resilience,
             network=network,
         )
-        self.engine = BifrostEngine(
-            simulation=self.simulation,
-            application=application,
-            router=self.router,
-            store=self.runtime.monitor.store,
-            costs=costs,
-        )
+        durable = durable or journal is not None
+        self.journal: Journal | None = None
+        self.snapshots: SnapshotStore | None = None
+        self.supervisor: EngineSupervisor | None = None
+        if durable:
+            self.journal = journal or Journal()
+            self.snapshots = SnapshotStore(snapshot_policy)
+
+            def factory() -> BifrostEngine:
+                # Every (re)started engine shares the durable journal,
+                # snapshot store, and surviving data plane, but gets a
+                # fresh executor: a crashed engine's queued work is lost.
+                return BifrostEngine(
+                    simulation=self.simulation,
+                    application=application,
+                    router=self.router,
+                    store=self.runtime.monitor.store,
+                    costs=costs,
+                    journal=self.journal,
+                    snapshots=self.snapshots,
+                    toggles=toggles,
+                )
+
+            self.supervisor = EngineSupervisor(
+                factory,
+                self.journal,
+                self.snapshots,
+                monitor=self.runtime.monitor,
+                policy=restart_policy,
+            )
+            self._engine = None
+        else:
+            self._engine = BifrostEngine(
+                simulation=self.simulation,
+                application=application,
+                router=self.router,
+                store=self.runtime.monitor.store,
+                costs=costs,
+                toggles=toggles,
+            )
         self.outcomes: list[RequestOutcome] = []
+
+    @property
+    def engine(self) -> BifrostEngine:
+        """The *current* engine (the supervisor's, when durable)."""
+        if self.supervisor is not None:
+            return self.supervisor.engine
+        assert self._engine is not None
+        return self._engine
 
     @property
     def collector(self):
@@ -76,7 +127,21 @@ class Bifrost:
         return self.runtime.resilience
 
     def install_campaign(self, campaign: FaultCampaign) -> int:
-        """Schedule a fault campaign on the shared simulated clock."""
+        """Schedule a fault campaign on the shared simulated clock.
+
+        When the middleware runs durably, the engine supervisor is wired
+        into the campaign so :class:`EngineCrash` faults have a target.
+        """
+        if campaign.engine is None and self.supervisor is not None:
+            campaign.engine = self.supervisor
+        if (
+            any(isinstance(f, EngineCrash) for f in campaign.faults)
+            and campaign.engine is None
+        ):
+            raise ConfigurationError(
+                "EngineCrash faults need a durable middleware "
+                "(Bifrost(durable=True)) or an explicit crash target"
+            )
         return campaign.install(self.simulation)
 
     def submit(self, strategy: Strategy | str, at: float | None = None) -> StrategyExecution:

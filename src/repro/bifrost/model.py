@@ -11,8 +11,9 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
+from typing import Mapping
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, ValidationError
 
 #: Names of the built-in terminal states every strategy may target.
 TERMINAL_COMPLETE = "complete"
@@ -287,3 +288,128 @@ class Strategy:
     def total_checks(self) -> int:
         """Number of checks across all phases."""
         return sum(len(p.checks) for p in self.phases)
+
+
+# -- lossless dict serialization -------------------------------------------
+#
+# The write-ahead journal (:mod:`repro.bifrost.journal`) persists whole
+# strategies inside its records; unlike the DSL these converters cover
+# *every* model field (tags included), so a recovered engine rebuilds an
+# exact copy of what was submitted.
+
+
+def check_to_dict(check: Check) -> dict:
+    """Serialize a check to JSON-compatible primitives (lossless)."""
+    return {
+        "name": check.name,
+        "service": check.service,
+        "version": check.version,
+        "metric": check.metric,
+        "aggregation": check.aggregation,
+        "operator": check.operator,
+        "threshold": check.threshold,
+        "baseline_version": check.baseline_version,
+        "tolerance": check.tolerance,
+        "window_seconds": check.window_seconds,
+        "interval_seconds": check.interval_seconds,
+    }
+
+
+def check_from_dict(data: Mapping) -> Check:
+    """Rebuild a check from :func:`check_to_dict` output."""
+    try:
+        return Check(
+            name=data["name"],
+            service=data["service"],
+            version=data["version"],
+            metric=data["metric"],
+            aggregation=data["aggregation"],
+            operator=data["operator"],
+            threshold=data["threshold"],
+            baseline_version=data["baseline_version"],
+            tolerance=data["tolerance"],
+            window_seconds=data["window_seconds"],
+            interval_seconds=data["interval_seconds"],
+        )
+    except (KeyError, TypeError) as exc:
+        raise ValidationError(f"malformed check document: {exc}") from exc
+
+
+def phase_to_dict(phase: Phase) -> dict:
+    """Serialize a phase to JSON-compatible primitives (lossless)."""
+    return {
+        "name": phase.name,
+        "type": phase.type.value,
+        "service": phase.service,
+        "stable_version": phase.stable_version,
+        "experimental_version": phase.experimental_version,
+        "second_version": phase.second_version,
+        "fraction": phase.fraction,
+        "steps": list(phase.steps),
+        "audience_groups": sorted(phase.audience_groups),
+        "duration_seconds": phase.duration_seconds,
+        "check_interval_seconds": phase.check_interval_seconds,
+        "checks": [check_to_dict(check) for check in phase.checks],
+        "min_samples": phase.min_samples,
+        "deadline_seconds": phase.deadline_seconds,
+        "on_success": phase.on_success,
+        "on_failure": phase.on_failure,
+        "on_inconclusive": phase.on_inconclusive,
+        "max_repeats": phase.max_repeats,
+        "winner_metric": phase.winner_metric,
+        "winner_aggregation": phase.winner_aggregation,
+        "winner_lower_is_better": phase.winner_lower_is_better,
+    }
+
+
+def phase_from_dict(data: Mapping) -> Phase:
+    """Rebuild a phase from :func:`phase_to_dict` output."""
+    try:
+        return Phase(
+            name=data["name"],
+            type=PhaseType(data["type"]),
+            service=data["service"],
+            stable_version=data["stable_version"],
+            experimental_version=data["experimental_version"],
+            second_version=data["second_version"],
+            fraction=data["fraction"],
+            steps=tuple(data["steps"]),
+            audience_groups=frozenset(data["audience_groups"]),
+            duration_seconds=data["duration_seconds"],
+            check_interval_seconds=data["check_interval_seconds"],
+            checks=tuple(check_from_dict(c) for c in data["checks"]),
+            min_samples=data["min_samples"],
+            deadline_seconds=data["deadline_seconds"],
+            on_success=data["on_success"],
+            on_failure=data["on_failure"],
+            on_inconclusive=data["on_inconclusive"],
+            max_repeats=data["max_repeats"],
+            winner_metric=data["winner_metric"],
+            winner_aggregation=data["winner_aggregation"],
+            winner_lower_is_better=data["winner_lower_is_better"],
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ValidationError(f"malformed phase document: {exc}") from exc
+
+
+def strategy_to_dict(strategy: Strategy) -> dict:
+    """Serialize a strategy to JSON-compatible primitives (lossless)."""
+    return {
+        "name": strategy.name,
+        "description": strategy.description,
+        "tags": list(strategy.tags),
+        "phases": [phase_to_dict(phase) for phase in strategy.phases],
+    }
+
+
+def strategy_from_dict(data: Mapping) -> Strategy:
+    """Rebuild a strategy from :func:`strategy_to_dict` output."""
+    try:
+        return Strategy(
+            name=data["name"],
+            phases=tuple(phase_from_dict(p) for p in data["phases"]),
+            description=data.get("description", ""),
+            tags=tuple(data.get("tags", ())),
+        )
+    except (KeyError, TypeError) as exc:
+        raise ValidationError(f"malformed strategy document: {exc}") from exc

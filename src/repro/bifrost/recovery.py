@@ -1,0 +1,326 @@
+"""Rebuilding a Bifrost engine from snapshot + journal replay.
+
+Recovery is split in two: the :class:`RecoveryManager` performs *pure*
+state reconstruction — restore the latest snapshot, then fold every
+journal record after it back into :class:`StrategyExecution` objects,
+with no side effects — and then hands the rebuilt executions to
+:meth:`BifrostEngine.adopt`, which resumes them live (re-installing
+routes exactly once, re-arming deadlines from first-entry times, and
+replaying decision points missed during the outage at their original
+logical timestamps).
+
+The :class:`EngineSupervisor` sits above both: it owns the current
+engine object, kills it when an :class:`~repro.microservices.faults.EngineCrash`
+fault fires, and — within a bounded :class:`RestartPolicy` — builds a
+fresh engine and recovers it.  Every crash, restart, and refusal is
+surfaced as a ``durability.*`` metric through the telemetry monitor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.bifrost.checks import CheckResult
+from repro.bifrost.engine import BifrostEngine, StrategyExecution, TransitionRecord
+from repro.bifrost.journal import (
+    FINALIZED,
+    PHASE_ENTERED,
+    RECOVERED,
+    ROLLOUT,
+    SUBMITTED,
+    TICK,
+    TRANSITION,
+    WINNER,
+    Journal,
+    JournalRecord,
+    SnapshotStore,
+    execution_from_dict,
+)
+from repro.bifrost.model import (
+    TERMINAL_STATES,
+    Action,
+    CheckOutcome,
+    StrategyOutcome,
+    check_from_dict,
+    strategy_from_dict,
+)
+from repro.bifrost.state_machine import StateMachine
+from repro.errors import ValidationError
+from repro.telemetry.monitor import Monitor
+
+_OUTCOME_FOR_ACTION = {
+    Action.PROMOTE: StrategyOutcome.COMPLETED,
+    Action.ROLLBACK: StrategyOutcome.ROLLED_BACK,
+    Action.ABORT: StrategyOutcome.ABORTED,
+}
+
+
+@dataclass(frozen=True)
+class RecoveryReport:
+    """What one recovery pass found and did.
+
+    Attributes:
+        snapshot_restored: whether a snapshot seeded the reconstruction.
+        snapshot_time: simulated time of that snapshot (None without one).
+        records_replayed: journal records folded in after the snapshot.
+        records_dropped: corrupt/truncated tail lines that were discarded.
+        executions_recovered: executions handed back to the engine.
+        inflight: strategies whose phase outcome was in flight at crash
+            time (degraded to inconclusive and re-executed).
+    """
+
+    snapshot_restored: bool
+    snapshot_time: float | None
+    records_replayed: int
+    records_dropped: int
+    executions_recovered: int
+    inflight: tuple[str, ...]
+
+
+class RecoveryManager:
+    """Rebuilds engine state from durable storage and resumes it."""
+
+    def __init__(
+        self,
+        journal: Journal,
+        snapshots: SnapshotStore | None = None,
+        monitor: Monitor | None = None,
+    ) -> None:
+        self.journal = journal
+        self.snapshots = snapshots
+        self.monitor = monitor
+
+    def recover(
+        self, engine: BifrostEngine, restore_stores: bool = False
+    ) -> RecoveryReport:
+        """Reconstruct executions into *engine* and resume them.
+
+        With ``restore_stores`` the snapshot's metric/toggle contents are
+        loaded back into the engine's stores — needed for full process
+        recovery, redundant (and off by default) for an in-simulation
+        crash where the data plane survived.
+        """
+        snapshot = self.snapshots.latest if self.snapshots is not None else None
+        executions: dict[str, StrategyExecution] = {}
+        base_lsn = 0
+        if snapshot is not None:
+            base_lsn = snapshot.last_lsn
+            for doc in snapshot.executions:
+                execution = execution_from_dict(doc)
+                executions[execution.strategy.name] = execution
+            if restore_stores:
+                if snapshot.metrics is not None:
+                    engine.store.restore(snapshot.metrics)
+                if snapshot.toggles is not None and engine.toggles is not None:
+                    engine.toggles.restore(snapshot.toggles)
+        records, dropped = self.journal.records_after(base_lsn)
+        if dropped:
+            # Repair the file: a torn line left in place would make every
+            # record appended after it unreachable on the next load.
+            self.journal.truncate_corrupt_tail()
+        pending: dict[str, tuple[str, float]] = {}
+        for record in records:
+            self._apply(record, executions, pending)
+        for name, (target, time) in pending.items():
+            # A transition made it to the journal but the phase entry it
+            # must have caused did not (torn tail): enter the phase now
+            # so the resumed execution does not re-run the old one.
+            self._enter(executions[name], target, time)
+        now = engine.simulation.now
+        self.journal.append(
+            RECOVERED,
+            now,
+            {
+                "snapshot_lsn": base_lsn,
+                "records_replayed": len(records),
+                "records_dropped": dropped,
+                "executions": sorted(executions),
+            },
+        )
+        inflight = engine.adopt(list(executions.values()))
+        if self.monitor is not None:
+            self.monitor.observe_durability("recovered", now)
+            self.monitor.observe_durability(
+                "records_replayed", now, float(len(records))
+            )
+            if dropped:
+                self.monitor.observe_durability(
+                    "records_dropped", now, float(dropped)
+                )
+            if inflight:
+                self.monitor.observe_durability(
+                    "inflight_inconclusive", now, float(len(inflight))
+                )
+        return RecoveryReport(
+            snapshot_restored=snapshot is not None,
+            snapshot_time=snapshot.time if snapshot is not None else None,
+            records_replayed=len(records),
+            records_dropped=dropped,
+            executions_recovered=len(executions),
+            inflight=tuple(inflight),
+        )
+
+    # -- pure journal folding ----------------------------------------------
+
+    def _apply(
+        self,
+        record: JournalRecord,
+        executions: dict[str, StrategyExecution],
+        pending: dict[str, tuple[str, float]],
+    ) -> None:
+        """Fold one journal record into the reconstructed state."""
+        kind, data = record.kind, record.data
+        if kind == SUBMITTED:
+            strategy = strategy_from_dict(data["strategy"])
+            start = float(data["start"])
+            executions[strategy.name] = StrategyExecution(
+                strategy=strategy,
+                machine=StateMachine(strategy),
+                state=strategy.entry.name,
+                started_at=start,
+                phase_started_at=start,
+            )
+            return
+        if kind == RECOVERED:
+            return
+        name = data.get("strategy")
+        execution = executions.get(name) if name is not None else None
+        if execution is None:
+            raise ValidationError(
+                f"journal record {record.lsn} ({kind}) references unknown "
+                f"strategy {name!r}"
+            )
+        if kind == PHASE_ENTERED:
+            pending.pop(name, None)
+            self._enter(execution, data["phase"], record.time)
+        elif kind == TICK:
+            execution.last_tick_at = record.time
+            execution.evaluation_errors += int(data["errors"])
+            for entry in data["checks"]:
+                check = check_from_dict(entry["check"])
+                outcome = CheckOutcome(entry["outcome"])
+                execution.check_log.append(
+                    CheckResult(
+                        check,
+                        record.time,
+                        outcome,
+                        entry["observed"],
+                        entry["reference"],
+                    )
+                )
+                execution.check_last[check.name] = outcome
+                execution.check_next_due[check.name] = float(entry["next_due"])
+        elif kind == ROLLOUT:
+            execution.rollout_step = int(data["step"])
+        elif kind == WINNER:
+            execution.winner = data["version"]
+        elif kind == TRANSITION:
+            source = data["source"]
+            target = data["target"]
+            trigger = data["trigger"]
+            action = Action(data["action"])
+            execution.transitions.append(
+                TransitionRecord(record.time, source, target, trigger, action)
+            )
+            if action is Action.REPEAT:
+                execution.repeats[source] = execution.repeats.get(source, 0) + 1
+            if trigger == "deadline":
+                execution.deadline_exceeded = source
+            if target in TERMINAL_STATES:
+                execution.state = target
+                execution.finished_at = record.time
+                execution.outcome = _OUTCOME_FOR_ACTION.get(
+                    action, StrategyOutcome.ABORTED
+                )
+            else:
+                # The matching phase_entered record normally follows
+                # immediately; track it so a torn tail can be repaired.
+                pending[name] = (target, record.time)
+        elif kind == FINALIZED:
+            pending.pop(name, None)
+            execution.state = data["terminal"]
+            execution.outcome = StrategyOutcome(data["outcome"])
+            execution.finished_at = record.time
+        # ROUTE records carry no execution state: routes live in the data
+        # plane, which survives an engine crash; adopt() re-installs them
+        # for resumed phases regardless.
+
+    @staticmethod
+    def _enter(execution: StrategyExecution, phase_name: str, time: float) -> None:
+        """Apply the state effects of entering a phase (replay-side twin
+        of the engine's ``_enter_phase``, without any side effects)."""
+        execution.state = phase_name
+        execution.phase_started_at = time
+        execution.rollout_step = -1
+        execution.check_next_due = {}
+        execution.check_last = {}
+        execution.last_tick_at = None
+        execution.phase_entries += 1
+        execution.phase_first_entered.setdefault(phase_name, time)
+
+
+@dataclass(frozen=True)
+class RestartPolicy:
+    """Bounded restart budget for the engine supervisor.
+
+    Attributes:
+        max_restarts: how many recoveries the supervisor performs before
+            refusing further ones (the classic supervised-restart bound —
+            a crash-looping engine should page a human, not spin).
+    """
+
+    max_restarts: int = 3
+
+
+class EngineSupervisor:
+    """Owns the current engine; kills and recovers it within a budget.
+
+    Satisfies the ``CrashTarget`` protocol of
+    :mod:`repro.microservices.faults`, so an ``EngineCrash`` fault in a
+    campaign drives :meth:`crash` / :meth:`restart` on the simulated
+    clock.
+    """
+
+    def __init__(
+        self,
+        factory: Callable[[], BifrostEngine],
+        journal: Journal,
+        snapshots: SnapshotStore | None = None,
+        monitor: Monitor | None = None,
+        policy: RestartPolicy | None = None,
+    ) -> None:
+        self.factory = factory
+        self.journal = journal
+        self.snapshots = snapshots
+        self.monitor = monitor
+        self.policy = policy or RestartPolicy()
+        self.engine = factory()
+        self.restarts = 0
+        self.gave_up = False
+        self.reports: list[RecoveryReport] = []
+
+    def crash(self, now: float) -> None:
+        """Kill the current engine (no-op when already down)."""
+        if not self.engine.alive:
+            return
+        self.engine.kill()
+        if self.monitor is not None:
+            self.monitor.observe_durability("crash", now)
+
+    def restart(self, now: float) -> None:
+        """Build a fresh engine and recover it, if the budget allows."""
+        if self.engine.alive:
+            return
+        if self.restarts >= self.policy.max_restarts:
+            self.gave_up = True
+            if self.monitor is not None:
+                self.monitor.observe_durability("restart_refused", now)
+            return
+        self.restarts += 1
+        self.engine = self.factory()
+        manager = RecoveryManager(self.journal, self.snapshots, self.monitor)
+        report = manager.recover(self.engine)
+        self.reports.append(report)
+        if self.monitor is not None:
+            self.monitor.observe_durability("restart", now)

@@ -88,6 +88,14 @@ class StateMachine:
         """All labelled transitions."""
         return list(self._transitions)
 
+    def has_state(self, name: str) -> bool:
+        """Whether *name* is a known phase or terminal state.
+
+        Recovery uses this to validate state names read back from
+        snapshots and journals before trusting them.
+        """
+        return name in self._states
+
     def state(self, name: str) -> StrategyState:
         """Look up a state by name."""
         try:

@@ -21,7 +21,7 @@ rollback.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Union
+from typing import Protocol, Union
 
 from repro.errors import ConfigurationError
 from repro.microservices.application import Application
@@ -235,7 +235,34 @@ class Partition:
     end: float
 
 
-TransientFault = Union[ErrorBurst, LatencySpike, VersionCrash, Partition]
+@dataclass(frozen=True)
+class EngineCrash:
+    """Transient fault: the *experiment engine itself* dies during a window.
+
+    Unlike the application-facing faults, this targets the control
+    plane: at ``start`` the engine is killed (in-memory execution state
+    lost, routes and telemetry survive), at ``end`` the supervisor is
+    asked to restart and recover it from journal + snapshot.
+    """
+
+    start: float
+    end: float
+
+
+class CrashTarget(Protocol):
+    """What an :class:`EngineCrash` needs to drive — a supervisor that
+    can kill the current engine and later restart-and-recover it."""
+
+    def crash(self, now: float) -> None:
+        """Kill the engine at simulated time *now*."""
+        ...  # pragma: no cover - protocol
+
+    def restart(self, now: float) -> None:
+        """Restart and recover the engine at simulated time *now*."""
+        ...  # pragma: no cover - protocol
+
+
+TransientFault = Union[ErrorBurst, LatencySpike, VersionCrash, Partition, EngineCrash]
 
 
 @dataclass(frozen=True)
@@ -261,9 +288,11 @@ class FaultCampaign:
         self,
         injector: FaultInjector,
         network: NetworkState | None = None,
+        engine: CrashTarget | None = None,
     ) -> None:
         self.injector = injector
         self.network = network
+        self.engine = engine
         self._faults: list[TransientFault] = []
         self._handles: dict[int, list[InjectedFault]] = {}
         self.log: list[CampaignEvent] = []
@@ -295,6 +324,16 @@ class FaultCampaign:
         """Schedule every declared fault; returns the number of events."""
         if self._installed:
             raise ConfigurationError("campaign already installed")
+        # The crash target is validated here, not in add(): middleware
+        # wires the supervisor onto the campaign between declaring the
+        # faults and installing them.
+        if self.engine is None and any(
+            isinstance(fault, EngineCrash) for fault in self._faults
+        ):
+            raise ConfigurationError(
+                "engine crashes need a crash target (supervisor) wired "
+                "into the campaign"
+            )
         self._installed = True
         events = 0
         for index, fault in enumerate(self._faults):
@@ -346,9 +385,12 @@ class FaultCampaign:
                         added_error_rate=1.0,
                     )
                 )
-        else:  # Partition
+        elif isinstance(fault, Partition):
             assert self.network is not None
             self.network.partition(fault.service_a, fault.service_b)
+        else:  # EngineCrash
+            assert self.engine is not None
+            self.engine.crash(now)
         self._handles[index] = handles
         self.log.append(CampaignEvent(now, "activate", fault))
 
@@ -358,4 +400,7 @@ class FaultCampaign:
         if isinstance(fault, Partition):
             assert self.network is not None
             self.network.heal(fault.service_a, fault.service_b)
+        elif isinstance(fault, EngineCrash):
+            assert self.engine is not None
+            self.engine.restart(now)
         self.log.append(CampaignEvent(now, "revert", fault))

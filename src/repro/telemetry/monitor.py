@@ -54,6 +54,23 @@ class Monitor:
             1.0,
         )
 
+    def observe_durability(self, kind: str, time: float, value: float = 1.0) -> None:
+        """Record one engine-durability event (crash, restart, recovery).
+
+        Durability events describe the *experiment infrastructure* rather
+        than a service version, so they are recorded under the synthetic
+        ``("bifrost", "engine")`` key as ``durability.<kind>`` metrics —
+        queryable with the same windowed aggregations as everything else.
+        """
+        self.store.record("bifrost", "engine", f"durability.{kind}", time, value)
+
+    def durability_count(self, kind: str, start: float, end: float) -> float:
+        """How many ``durability.<kind>`` events fell in the window."""
+        value = self.store.aggregate(
+            "bifrost", "engine", f"durability.{kind}", "count", start, end
+        )
+        return value or 0.0
+
     def resilience_count(
         self, service: str, version: str, kind: str, start: float, end: float
     ) -> float:

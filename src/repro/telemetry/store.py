@@ -115,6 +115,44 @@ class MetricStore:
             for ts, value in series:
                 self.record(key.service, key.version, key.metric, ts, value)
 
+    def snapshot(self) -> dict:
+        """JSON-compatible dump of every series, for durability checkpoints."""
+        return {
+            "series": [
+                {
+                    "service": key.service,
+                    "version": key.version,
+                    "metric": key.metric,
+                    "samples": [[ts, value] for ts, value in self._series[key]],
+                }
+                for key in sorted(self._series)
+            ]
+        }
+
+    def restore(self, data: dict) -> None:
+        """Replace all contents with a :meth:`snapshot` dump.
+
+        Raises :class:`ValidationError` on a malformed document so a
+        corrupt checkpoint surfaces during recovery, not as a later
+        aggregation error.
+        """
+        try:
+            entries = [
+                (
+                    str(entry["service"]),
+                    str(entry["version"]),
+                    str(entry["metric"]),
+                    [(float(ts), float(value)) for ts, value in entry["samples"]],
+                )
+                for entry in data["series"]
+            ]
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ValidationError(f"malformed metric snapshot: {exc}") from exc
+        self._series = {}
+        for service, version, metric, samples in entries:
+            for ts, value in samples:
+                self.record(service, version, metric, ts, value)
+
 
 def record_many(
     store: MetricStore,

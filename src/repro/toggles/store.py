@@ -143,3 +143,46 @@ class ToggleStore:
     def all_toggles(self) -> list[FeatureToggle]:
         """Every registered toggle regardless of state."""
         return list(self._toggles.values())
+
+    def snapshot(self) -> dict:
+        """JSON-compatible dump of the store, for durability checkpoints."""
+        return {
+            "evaluations": self.evaluations,
+            "toggles": [
+                {
+                    "name": toggle.name,
+                    "service": toggle.service,
+                    "rollout_fraction": toggle.rollout_fraction,
+                    "enabled_groups": sorted(toggle.enabled_groups),
+                    "state": toggle.state.value,
+                    "created_at": toggle.created_at,
+                }
+                for toggle in self._toggles.values()
+            ],
+        }
+
+    def restore(self, data: dict) -> None:
+        """Replace all contents with a :meth:`snapshot` dump.
+
+        A malformed document raises :class:`ConfigurationError` (the
+        toggle dataclass re-validates every field on the way in).
+        """
+        try:
+            toggles = [
+                FeatureToggle(
+                    name=doc["name"],
+                    service=doc["service"],
+                    rollout_fraction=doc["rollout_fraction"],
+                    enabled_groups=frozenset(doc["enabled_groups"]),
+                    state=ToggleState(doc["state"]),
+                    created_at=doc["created_at"],
+                )
+                for doc in data["toggles"]
+            ]
+            evaluations = int(data["evaluations"])
+        except ConfigurationError:
+            raise
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ConfigurationError(f"malformed toggle snapshot: {exc}") from exc
+        self._toggles = {toggle.name: toggle for toggle in toggles}
+        self.evaluations = evaluations

@@ -53,6 +53,13 @@ class TestExamples:
         assert "strategy outcome: rolled_back" in out
         assert "non-closed breakers: catalog/2.0.0" in out
 
+    def test_durable_canary(self):
+        out = run_example("durable_canary.py")
+        assert "strategy outcome: completed" in out
+        assert "engine restarts: 2" in out
+        assert "version_path identical to crash-free run: True" in out
+        assert "baseline promoted the same version: True" in out
+
     def test_experiment_scheduling(self):
         out = run_example("experiment_scheduling.py", timeout=420.0)
         assert "algorithm comparison" in out

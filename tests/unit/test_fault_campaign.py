@@ -4,6 +4,7 @@ import pytest
 
 from repro.errors import ConfigurationError
 from repro.microservices.faults import (
+    EngineCrash,
     ErrorBurst,
     FaultCampaign,
     FaultInjector,
@@ -200,3 +201,62 @@ class TestFaultCampaign:
             campaign.install(simulation)
         with pytest.raises(ConfigurationError):
             campaign.add(ErrorBurst("backend", "1.0.0", "api", 0.5, 3.0, 4.0))
+
+
+class _RecordingCrashTarget:
+    """Minimal CrashTarget double recording the calls it receives."""
+
+    def __init__(self):
+        self.calls = []
+
+    def crash(self, now):
+        self.calls.append(("crash", now))
+
+    def restart(self, now):
+        self.calls.append(("restart", now))
+
+
+class TestEngineCrashFault:
+    def test_crash_and_restart_fire_on_window_bounds(self, tiny_app):
+        simulation = SimulationEngine()
+        target = _RecordingCrashTarget()
+        campaign = FaultCampaign(FaultInjector(tiny_app), engine=target)
+        campaign.add(EngineCrash(5.0, 9.0))
+        campaign.install(simulation)
+        simulation.run_until(6.0)
+        assert target.calls == [("crash", 5.0)]
+        simulation.run_until(10.0)
+        assert target.calls == [("crash", 5.0), ("restart", 9.0)]
+
+    def test_engine_crash_without_target_rejected_at_install(self, tiny_app):
+        simulation = SimulationEngine()
+        campaign = FaultCampaign(FaultInjector(tiny_app))
+        campaign.add(EngineCrash(1.0, 2.0))  # add() accepts; wiring comes later
+        with pytest.raises(ConfigurationError):
+            campaign.install(simulation)
+
+    def test_target_wired_after_add_is_accepted(self, tiny_app):
+        simulation = SimulationEngine()
+        campaign = FaultCampaign(FaultInjector(tiny_app))
+        campaign.add(EngineCrash(1.0, 2.0))
+        campaign.engine = _RecordingCrashTarget()
+        assert campaign.install(simulation) == 2
+
+    def test_window_validation_applies(self, tiny_app):
+        campaign = FaultCampaign(FaultInjector(tiny_app))
+        with pytest.raises(ConfigurationError):
+            campaign.add(EngineCrash(5.0, 5.0))
+        with pytest.raises(ConfigurationError):
+            campaign.add(EngineCrash(-1.0, 5.0))
+
+    def test_logged_like_other_faults(self, tiny_app):
+        simulation = SimulationEngine()
+        campaign = FaultCampaign(FaultInjector(tiny_app), engine=_RecordingCrashTarget())
+        crash = campaign.add(EngineCrash(1.0, 2.0))
+        campaign.install(simulation)
+        simulation.run_until(3.0)
+        assert [(e.action, e.fault) for e in campaign.log] == [
+            ("activate", crash),
+            ("revert", crash),
+        ]
+        assert campaign.active_at(1.5) == [crash]

@@ -1,0 +1,279 @@
+"""Unit tests for the write-ahead journal and snapshot layer."""
+
+import json
+
+import pytest
+
+from repro.bifrost.engine import StrategyExecution
+from repro.bifrost.journal import (
+    SCHEMA_VERSION,
+    FileJournalStorage,
+    Journal,
+    JournalRecord,
+    MemoryJournalStorage,
+    Snapshot,
+    SnapshotPolicy,
+    SnapshotStore,
+    decode_record,
+    encode_record,
+    execution_from_dict,
+    execution_to_dict,
+    snapshot_from_dict,
+    snapshot_to_dict,
+)
+from repro.bifrost.model import Check, Phase, PhaseType, Strategy, StrategyOutcome
+from repro.bifrost.state_machine import StateMachine
+from repro.errors import ValidationError
+
+
+def canary_strategy() -> Strategy:
+    """A one-phase canary with a single error check."""
+    return Strategy(
+        "canary-strategy",
+        (
+            Phase(
+                name="canary",
+                type=PhaseType.CANARY,
+                service="backend",
+                stable_version="1.0.0",
+                experimental_version="2.0.0",
+                fraction=0.3,
+                duration_seconds=60.0,
+                check_interval_seconds=5.0,
+                checks=(
+                    Check(
+                        name="errors",
+                        service="backend",
+                        version="2.0.0",
+                        metric="error",
+                        threshold=0.05,
+                        window_seconds=20.0,
+                    ),
+                ),
+            ),
+        ),
+    )
+
+
+class TestRecordCodec:
+    def test_round_trip(self):
+        record = JournalRecord(3, "tick", 12.5, {"strategy": "s", "checks": []})
+        assert decode_record(encode_record(record)) == record
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ValidationError):
+            decode_record('{"torn": tru')
+
+    def test_missing_fields_rejected(self):
+        with pytest.raises(ValidationError):
+            decode_record(json.dumps({"v": SCHEMA_VERSION, "lsn": 1}))
+
+    def test_newer_schema_rejected(self):
+        line = json.dumps(
+            {"v": SCHEMA_VERSION + 1, "lsn": 1, "kind": "tick", "time": 0, "data": {}}
+        )
+        with pytest.raises(ValidationError):
+            decode_record(line)
+
+
+class TestJournal:
+    def test_append_assigns_monotonic_lsns(self):
+        journal = Journal()
+        first = journal.append("submitted", 0.0, {"a": 1})
+        second = journal.append("tick", 1.0, {"b": 2})
+        assert (first.lsn, second.lsn) == (1, 2)
+        assert journal.last_lsn == 2
+
+    def test_load_round_trip(self):
+        journal = Journal()
+        journal.append("submitted", 0.0, {"a": 1})
+        journal.append("tick", 1.0, {"b": 2})
+        records, dropped = journal.load()
+        assert [r.kind for r in records] == ["submitted", "tick"]
+        assert dropped == 0
+
+    def test_corrupt_tail_dropped(self):
+        storage = MemoryJournalStorage()
+        journal = Journal(storage)
+        journal.append("submitted", 0.0, {})
+        journal.append("tick", 1.0, {})
+        storage.lines[-1] = storage.lines[-1][: len(storage.lines[-1]) // 2]
+        records, dropped = journal.load()
+        assert [r.kind for r in records] == ["submitted"]
+        assert dropped == 1
+
+    def test_corruption_in_middle_drops_rest(self):
+        storage = MemoryJournalStorage()
+        journal = Journal(storage)
+        for i in range(4):
+            journal.append("tick", float(i), {})
+        storage.lines[1] = "garbage"
+        records, dropped = journal.load()
+        assert len(records) == 1
+        assert dropped == 3
+
+    def test_non_monotonic_lsn_treated_as_corruption(self):
+        storage = MemoryJournalStorage()
+        journal = Journal(storage)
+        journal.append("tick", 0.0, {})
+        storage.lines.append(storage.lines[0])  # duplicated LSN
+        records, dropped = journal.load()
+        assert len(records) == 1
+        assert dropped == 1
+
+    def test_truncate_corrupt_tail_repairs_storage(self):
+        storage = MemoryJournalStorage()
+        journal = Journal(storage)
+        journal.append("submitted", 0.0, {})
+        journal.append("tick", 1.0, {})
+        storage.lines[-1] = storage.lines[-1][: len(storage.lines[-1]) // 2]
+        assert journal.truncate_corrupt_tail() == 1
+        # Appends after the repair stay reachable on the next load.
+        journal.append("tick", 2.0, {})
+        records, dropped = journal.load()
+        assert [r.kind for r in records] == ["submitted", "tick"]
+        assert dropped == 0
+        assert [r.lsn for r in records] == [1, 2]
+
+    def test_truncate_corrupt_tail_noop_when_clean(self):
+        journal = Journal()
+        journal.append("tick", 0.0, {})
+        assert journal.truncate_corrupt_tail() == 0
+        assert len(journal.records()) == 1
+
+    def test_records_after(self):
+        journal = Journal()
+        journal.append("submitted", 0.0, {})
+        journal.append("tick", 1.0, {})
+        journal.append("tick", 2.0, {})
+        records, _ = journal.records_after(1)
+        assert [r.lsn for r in records] == [2, 3]
+
+    def test_compact_keeps_lsn_counter(self):
+        journal = Journal()
+        for i in range(5):
+            journal.append("tick", float(i), {})
+        removed = journal.compact(3)
+        assert removed == 3
+        assert [r.lsn for r in journal.records()] == [4, 5]
+        assert journal.append("tick", 9.0, {}).lsn == 6
+
+    def test_reopening_storage_resumes_lsns(self):
+        storage = MemoryJournalStorage()
+        Journal(storage).append("tick", 0.0, {})
+        reopened = Journal(storage)
+        assert reopened.append("tick", 1.0, {}).lsn == 2
+
+
+class TestFileJournalStorage:
+    def test_append_and_read(self, tmp_path):
+        storage = FileJournalStorage(str(tmp_path / "wal.jsonl"))
+        journal = Journal(storage)
+        journal.append("submitted", 0.0, {"a": 1})
+        journal.append("tick", 1.0, {})
+        reopened = Journal(FileJournalStorage(str(tmp_path / "wal.jsonl")))
+        assert [r.kind for r in reopened.records()] == ["submitted", "tick"]
+
+    def test_missing_file_is_empty(self, tmp_path):
+        storage = FileJournalStorage(str(tmp_path / "absent.jsonl"))
+        assert storage.read_lines() == []
+
+    def test_rewrite_for_compaction(self, tmp_path):
+        path = str(tmp_path / "wal.jsonl")
+        journal = Journal(FileJournalStorage(path))
+        for i in range(4):
+            journal.append("tick", float(i), {})
+        journal.compact(2)
+        assert [r.lsn for r in Journal(FileJournalStorage(path)).records()] == [3, 4]
+
+    def test_torn_file_tail_tolerated(self, tmp_path):
+        path = str(tmp_path / "wal.jsonl")
+        journal = Journal(FileJournalStorage(path))
+        journal.append("submitted", 0.0, {})
+        journal.append("tick", 1.0, {})
+        with open(path, "r+", encoding="utf-8") as handle:
+            content = handle.read()
+            handle.seek(0)
+            handle.truncate()
+            handle.write(content[:-20])
+        records, dropped = Journal(FileJournalStorage(path)).load()
+        assert [r.kind for r in records] == ["submitted"]
+        assert dropped == 1
+
+
+class TestSnapshotStore:
+    def test_snapshot_due_after_policy_records(self):
+        store = SnapshotStore(SnapshotPolicy(every_records=3))
+        assert [store.note_append() for _ in range(3)] == [False, False, True]
+
+    def test_zero_period_disables(self):
+        store = SnapshotStore(SnapshotPolicy(every_records=0))
+        assert not any(store.note_append() for _ in range(100))
+
+    def test_save_resets_counter(self):
+        store = SnapshotStore(SnapshotPolicy(every_records=2))
+        store.note_append()
+        store.note_append()
+        snapshot = Snapshot(SCHEMA_VERSION, 0.0, 2, (), None, None, ())
+        store.save(snapshot)
+        assert store.latest is snapshot
+        assert store.taken == 1
+        assert store.note_append() is False
+
+    def test_snapshot_dict_round_trip(self):
+        snapshot = Snapshot(
+            SCHEMA_VERSION, 5.0, 7, ({"x": 1},), {"series": []}, None, ()
+        )
+        assert snapshot_from_dict(snapshot_to_dict(snapshot)) == snapshot
+
+    def test_newer_snapshot_schema_rejected(self):
+        document = snapshot_to_dict(
+            Snapshot(SCHEMA_VERSION, 0.0, 0, (), None, None, ())
+        )
+        document["schema_version"] = SCHEMA_VERSION + 1
+        with pytest.raises(ValidationError):
+            snapshot_from_dict(document)
+
+    def test_malformed_snapshot_rejected(self):
+        with pytest.raises(ValidationError):
+            snapshot_from_dict({"schema_version": SCHEMA_VERSION})
+
+
+class TestExecutionSerialization:
+    def make_execution(self) -> StrategyExecution:
+        strategy = canary_strategy()
+        return StrategyExecution(
+            strategy=strategy,
+            machine=StateMachine(strategy),
+            state=strategy.entry.name,
+            started_at=1.0,
+            phase_started_at=1.0,
+            phase_entries=1,
+            last_tick_at=11.0,
+        )
+
+    def test_round_trip_preserves_every_field(self):
+        execution = self.make_execution()
+        execution.repeats["canary"] = 1
+        execution.phase_first_entered["canary"] = 1.0
+        rebuilt = execution_from_dict(execution_to_dict(execution))
+        assert execution_to_dict(rebuilt) == execution_to_dict(execution)
+        assert rebuilt.strategy == execution.strategy
+        assert rebuilt.outcome is StrategyOutcome.RUNNING
+        assert rebuilt.machine.has_state(rebuilt.state)
+
+    def test_json_serializable(self):
+        document = execution_to_dict(self.make_execution())
+        assert json.loads(json.dumps(document)) == document
+
+    def test_unknown_state_rejected(self):
+        document = execution_to_dict(self.make_execution())
+        document["state"] = "no-such-phase"
+        with pytest.raises(ValidationError):
+            execution_from_dict(document)
+
+    def test_malformed_document_rejected(self):
+        document = execution_to_dict(self.make_execution())
+        del document["phase_entries"]
+        with pytest.raises(ValidationError):
+            execution_from_dict(document)

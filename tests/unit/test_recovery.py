@@ -1,0 +1,266 @@
+"""Unit tests for engine recovery: journal folding, supervisor, resume."""
+
+import json
+
+import pytest
+
+from repro.bifrost.journal import TICK, Journal
+from repro.bifrost.middleware import Bifrost
+from repro.bifrost.model import (
+    TERMINAL_COMPLETE,
+    Check,
+    CheckOutcome,
+    Phase,
+    PhaseType,
+    Strategy,
+    StrategyOutcome,
+)
+from repro.bifrost.recovery import RecoveryManager, RestartPolicy
+from repro.errors import ExecutionError, ValidationError
+from repro.traffic.profile import UserGroup
+from repro.traffic.users import UserPopulation
+from repro.traffic.workload import WorkloadGenerator
+from tests.conftest import constant_endpoint
+
+GROUPS = (UserGroup("eu", 0.6), UserGroup("na", 0.4))
+
+
+def canary_phase(**kwargs) -> Phase:
+    defaults = dict(
+        name="canary",
+        type=PhaseType.CANARY,
+        service="backend",
+        stable_version="1.0.0",
+        experimental_version="2.0.0",
+        fraction=0.3,
+        duration_seconds=60.0,
+        check_interval_seconds=5.0,
+        checks=(
+            Check(
+                name="errors",
+                service="backend",
+                version="2.0.0",
+                metric="error",
+                threshold=0.05,
+                window_seconds=20.0,
+            ),
+        ),
+    )
+    defaults.update(kwargs)
+    return Phase(**defaults)
+
+
+def durable_run(app, strategy, crash_at=None, restart_at=None, **bifrost_kwargs):
+    """Drive a durable Bifrost, optionally crashing the engine manually."""
+    bifrost = Bifrost(app, seed=3, durable=True, **bifrost_kwargs)
+    execution = bifrost.submit(strategy, at=1.0)
+    population = UserPopulation(400, GROUPS, seed=4)
+    workload = WorkloadGenerator(population, entry="frontend.home", seed=5)
+    if crash_at is not None:
+        bifrost.simulation.schedule_at(
+            crash_at, lambda: bifrost.supervisor.crash(crash_at)
+        )
+    if restart_at is not None:
+        bifrost.simulation.schedule_at(
+            restart_at, lambda: bifrost.supervisor.restart(restart_at)
+        )
+    bifrost.run(workload.poisson(40.0, 200.0), until=220.0)
+    return bifrost, execution
+
+
+class TestSupervisor:
+    def test_crash_then_restart_completes_strategy(self, canary_app):
+        strategy = Strategy("s", (canary_phase(),))
+        bifrost, _ = durable_run(canary_app, strategy, crash_at=20.0, restart_at=35.0)
+        assert bifrost.outcome_of("s") is StrategyOutcome.COMPLETED
+        assert bifrost.supervisor.restarts == 1
+        assert len(bifrost.supervisor.reports) == 1
+        assert bifrost.supervisor.reports[0].executions_recovered == 1
+
+    def test_submitted_execution_object_goes_stale(self, canary_app):
+        # The caller's handle belongs to the crashed engine; the current
+        # engine's execution carries the recovered, completed state.
+        strategy = Strategy("s", (canary_phase(),))
+        bifrost, stale = durable_run(
+            canary_app, strategy, crash_at=20.0, restart_at=35.0
+        )
+        current = bifrost.engine.executions[0]
+        assert current is not stale
+        assert current.outcome is StrategyOutcome.COMPLETED
+
+    def test_crash_is_idempotent(self, canary_app):
+        bifrost = Bifrost(canary_app, durable=True)
+        bifrost.supervisor.crash(1.0)
+        bifrost.supervisor.crash(2.0)
+        assert bifrost.runtime.monitor.durability_count("crash", 0.0, 10.0) == 1.0
+
+    def test_restart_while_alive_is_noop(self, canary_app):
+        bifrost = Bifrost(canary_app, durable=True)
+        bifrost.supervisor.restart(1.0)
+        assert bifrost.supervisor.restarts == 0
+
+    def test_restart_budget_exhausted(self, canary_app):
+        bifrost = Bifrost(
+            canary_app, durable=True, restart_policy=RestartPolicy(max_restarts=1)
+        )
+        supervisor = bifrost.supervisor
+        supervisor.crash(1.0)
+        supervisor.restart(2.0)
+        supervisor.crash(3.0)
+        supervisor.restart(4.0)
+        assert supervisor.restarts == 1
+        assert supervisor.gave_up
+        assert not supervisor.engine.alive
+        monitor = bifrost.runtime.monitor
+        assert monitor.durability_count("restart_refused", 0.0, 10.0) == 1.0
+
+    def test_dead_engine_rejects_submissions(self, canary_app):
+        bifrost = Bifrost(canary_app, durable=True)
+        bifrost.supervisor.crash(1.0)
+        with pytest.raises(ExecutionError):
+            bifrost.submit(Strategy("s", (canary_phase(),)))
+
+    def test_durability_metrics_emitted(self, canary_app):
+        strategy = Strategy("s", (canary_phase(),))
+        bifrost, _ = durable_run(canary_app, strategy, crash_at=20.0, restart_at=35.0)
+        monitor = bifrost.runtime.monitor
+        assert monitor.durability_count("crash", 0.0, 300.0) == 1.0
+        assert monitor.durability_count("restart", 0.0, 300.0) == 1.0
+        assert monitor.durability_count("recovered", 0.0, 300.0) == 1.0
+
+
+class TestRecoveryManager:
+    def test_unknown_strategy_in_journal_rejected(self, canary_app):
+        bifrost = Bifrost(canary_app, durable=True)
+        bifrost.journal.append("tick", 1.0, {"strategy": "ghost", "checks": [], "errors": 0})
+        manager = RecoveryManager(bifrost.journal, bifrost.snapshots)
+        bifrost.supervisor.crash(1.0)
+        engine = bifrost.supervisor.factory()
+        with pytest.raises(ValidationError):
+            manager.recover(engine)
+
+    def test_recovered_marker_appended(self, canary_app):
+        strategy = Strategy("s", (canary_phase(),))
+        bifrost, _ = durable_run(canary_app, strategy, crash_at=20.0, restart_at=35.0)
+        kinds = [r.kind for r in bifrost.journal.records()]
+        assert "recovered" in kinds
+
+
+class TestInFlightOutcome:
+    def _truncate_after_decisive_tick(self, bifrost) -> None:
+        """Cut the journal right after the first FAIL tick record,
+        simulating a crash between a decisive check round and the
+        transition it must have triggered."""
+        lines = bifrost.journal.storage.lines
+        for index, line in enumerate(lines):
+            doc = json.loads(line)
+            if doc["kind"] == TICK and any(
+                c["outcome"] == CheckOutcome.FAIL.value
+                for c in doc["data"]["checks"]
+            ):
+                del lines[index + 1 :]
+                return
+        raise AssertionError("no FAIL tick found in journal")
+
+    def test_inflight_outcome_degraded_to_inconclusive(self, canary_app):
+        broken = canary_app.resolve("backend", "2.0.0")
+        broken.endpoints["api"] = constant_endpoint("api", 30.0, error_rate=1.0)
+        strategy = Strategy("s", (canary_phase(),))
+        bifrost, _ = durable_run(canary_app, strategy)
+        assert bifrost.outcome_of("s") is StrategyOutcome.ROLLED_BACK
+
+        self._truncate_after_decisive_tick(bifrost)
+        bifrost.supervisor.crash(bifrost.simulation.now)
+        bifrost.supervisor.restart(bifrost.simulation.now)
+        report = bifrost.supervisor.reports[-1]
+        assert report.inflight == ("s",)
+        execution = bifrost.engine.executions[0]
+        # The decisive FAIL round was degraded to inconclusive and the
+        # phase repeated (conditional chaining), then failed again live.
+        assert any(
+            t.trigger == "inconclusive" and t.target == t.source
+            for t in execution.transitions
+        )
+        bifrost.simulation.run_until(bifrost.simulation.now + 400.0)
+        assert bifrost.outcome_of("s") is StrategyOutcome.ROLLED_BACK
+
+
+class TestCorruptTail:
+    def test_garbage_tail_dropped_and_resumed(self, canary_app):
+        strategy = Strategy("s", (canary_phase(),))
+        bifrost = Bifrost(canary_app, seed=3, durable=True)
+        bifrost.submit(strategy, at=1.0)
+        population = UserPopulation(400, GROUPS, seed=4)
+        workload = WorkloadGenerator(population, entry="frontend.home", seed=5)
+        bifrost.simulation.schedule_at(20.0, lambda: bifrost.supervisor.crash(20.0))
+
+        def corrupt_and_restart():
+            bifrost.journal.storage.lines[-1] = '{"v": 1, "lsn": torn'
+            bifrost.supervisor.restart(30.0)
+
+        bifrost.simulation.schedule_at(30.0, corrupt_and_restart)
+        bifrost.run(workload.poisson(40.0, 200.0), until=220.0)
+        report = bifrost.supervisor.reports[-1]
+        assert report.records_dropped == 1
+        assert bifrost.outcome_of("s") in (
+            StrategyOutcome.COMPLETED,
+            StrategyOutcome.ROLLED_BACK,
+        )
+        assert bifrost.engine.executions[0].state == TERMINAL_COMPLETE
+
+
+class TestSnapshotRecovery:
+    def test_recovery_from_snapshot_plus_suffix(self, canary_app):
+        from repro.bifrost.journal import SnapshotPolicy
+
+        strategy = Strategy("s", (canary_phase(),))
+        bifrost, _ = durable_run(
+            canary_app,
+            strategy,
+            crash_at=30.0,
+            restart_at=40.0,
+            snapshot_policy=SnapshotPolicy(every_records=4, compact=True),
+        )
+        assert bifrost.outcome_of("s") is StrategyOutcome.COMPLETED
+        assert bifrost.snapshots.taken >= 1
+        assert bifrost.supervisor.reports[0].snapshot_restored
+
+    def test_restore_stores_from_snapshot(self, canary_app):
+        from repro.bifrost.journal import SnapshotPolicy
+        from repro.telemetry.store import MetricStore
+
+        strategy = Strategy("s", (canary_phase(),))
+        bifrost, _ = durable_run(
+            canary_app,
+            strategy,
+            snapshot_policy=SnapshotPolicy(every_records=4),
+        )
+        snapshot = bifrost.snapshots.latest
+        assert snapshot is not None and snapshot.metrics is not None
+        fresh = MetricStore()
+        fresh.restore(snapshot.metrics)
+        assert fresh.keys() != []
+
+
+class TestDeadlineAcrossRestart:
+    def test_deadline_measured_from_first_entry_survives_crash(self, canary_app):
+        # No traffic reaches the audience, so the phase repeats forever;
+        # only the deadline (armed at first entry) can end it — and it
+        # must still fire although the engine restarted in between.
+        phase = canary_phase(
+            audience_groups=frozenset({"ghost-group"}),
+            duration_seconds=30.0,
+            max_repeats=50,
+            deadline_seconds=100.0,
+        )
+        strategy = Strategy("s", (phase,))
+        bifrost, _ = durable_run(canary_app, strategy, crash_at=50.0, restart_at=70.0)
+        execution = bifrost.engine.executions[0]
+        assert execution.deadline_exceeded == "canary"
+        assert execution.outcome is StrategyOutcome.ROLLED_BACK
+        deadline_transitions = [
+            t for t in execution.transitions if t.trigger == "deadline"
+        ]
+        assert deadline_transitions and deadline_transitions[0].time == pytest.approx(
+            101.0
+        )

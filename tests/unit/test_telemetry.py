@@ -119,3 +119,62 @@ class TestMonitor:
         monitor = Monitor()
         assert monitor.error_rate("svc", "1.0", 0, 1) is None
         assert monitor.throughput("svc", "1.0", 0, 1) == 0.0
+
+
+class TestMetricStoreSnapshot:
+    def make_store(self) -> MetricStore:
+        store = MetricStore()
+        store.record("svc", "1.0", "response_time", 0.0, 10.0)
+        store.record("svc", "1.0", "response_time", 1.0, 12.0)
+        store.record("svc", "2.0", "error", 0.5, 1.0)
+        return store
+
+    def test_snapshot_restore_round_trip(self):
+        store = self.make_store()
+        restored = MetricStore()
+        restored.restore(store.snapshot())
+        assert restored.keys() == store.keys()
+        for key in store.keys():
+            assert restored.values_in_window(
+                key.service, key.version, key.metric, 0.0, 10.0
+            ) == store.values_in_window(key.service, key.version, key.metric, 0.0, 10.0)
+
+    def test_snapshot_is_json_compatible(self):
+        import json
+
+        dump = self.make_store().snapshot()
+        assert json.loads(json.dumps(dump)) == dump
+
+    def test_restore_replaces_existing_contents(self):
+        restored = MetricStore()
+        restored.record("stale", "1.0", "m", 0.0, 1.0)
+        restored.restore(self.make_store().snapshot())
+        assert all(key.service != "stale" for key in restored.keys())
+
+    def test_restore_rejects_malformed_document(self):
+        import pytest as _pytest
+
+        from repro.errors import ValidationError
+
+        with _pytest.raises(ValidationError):
+            MetricStore().restore({"series": [{"service": "x"}]})
+
+
+class TestDurabilityMetrics:
+    def test_observe_durability_records_under_engine_key(self):
+        monitor = Monitor()
+        monitor.observe_durability("crash", 5.0)
+        monitor.observe_durability("restart", 6.0)
+        assert monitor.durability_count("crash", 0.0, 10.0) == 1.0
+        assert monitor.durability_count("restart", 0.0, 10.0) == 1.0
+        assert monitor.durability_count("restart", 0.0, 5.5) == 0.0
+
+    def test_durability_value_carries_magnitude(self):
+        monitor = Monitor()
+        monitor.observe_durability("records_replayed", 1.0, value=17.0)
+        assert monitor.store.aggregate(
+            "bifrost", "engine", "durability.records_replayed", "sum", 0.0, 2.0
+        ) == 17.0
+
+    def test_no_events_is_zero(self):
+        assert Monitor().durability_count("crash", 0.0, 1.0) == 0.0

@@ -93,6 +93,110 @@ class TestToggleStore:
             ToggleStore().get("ghost")
 
 
+class TestToggleStoreErrorPaths:
+    """Every mutation path raises ConfigurationError consistently."""
+
+    def test_duplicate_register_message_names_toggle(self):
+        store = ToggleStore()
+        store.register(FeatureToggle("dup", "svc"))
+        with pytest.raises(ConfigurationError, match="dup"):
+            store.register(FeatureToggle("dup", "svc"))
+
+    def test_duplicate_register_keeps_original(self):
+        store = ToggleStore()
+        store.register(FeatureToggle("f", "svc", rollout_fraction=0.4))
+        with pytest.raises(ConfigurationError):
+            store.register(FeatureToggle("f", "svc", rollout_fraction=0.9))
+        assert store.get("f").rollout_fraction == 0.4
+
+    @pytest.mark.parametrize("fraction", [-0.1, 1.1, 2.0, -5.0])
+    def test_set_rollout_out_of_range(self, fraction):
+        store = ToggleStore()
+        store.register(FeatureToggle("f", "svc"))
+        with pytest.raises(ConfigurationError):
+            store.set_rollout("f", fraction)
+        assert store.get("f").rollout_fraction == 0.0
+
+    @pytest.mark.parametrize("fraction", [0.0, 0.5, 1.0])
+    def test_set_rollout_boundaries_accepted(self, fraction):
+        store = ToggleStore()
+        store.register(FeatureToggle("f", "svc"))
+        store.set_rollout("f", fraction)
+        assert store.get("f").rollout_fraction == fraction
+
+    def test_set_rollout_unknown_toggle(self):
+        with pytest.raises(ConfigurationError):
+            ToggleStore().set_rollout("ghost", 0.5)
+
+    def test_disable_unknown_toggle(self):
+        with pytest.raises(ConfigurationError):
+            ToggleStore().disable("ghost")
+
+    def test_retire_unknown_toggle(self):
+        with pytest.raises(ConfigurationError):
+            ToggleStore().retire("ghost")
+
+    @pytest.mark.parametrize("fraction", [-0.01, 1.01])
+    def test_constructor_out_of_range_fraction(self, fraction):
+        with pytest.raises(ConfigurationError):
+            FeatureToggle("f", "svc", rollout_fraction=fraction)
+
+    def test_constructor_empty_name_or_service(self):
+        with pytest.raises(ConfigurationError):
+            FeatureToggle("", "svc")
+        with pytest.raises(ConfigurationError):
+            FeatureToggle("f", "")
+
+
+class TestToggleStoreSnapshot:
+    def make_store(self) -> ToggleStore:
+        store = ToggleStore()
+        store.register(
+            FeatureToggle(
+                "a", "svc1", rollout_fraction=0.3,
+                enabled_groups=frozenset({"beta"}), created_at=7.0,
+            )
+        )
+        store.register(FeatureToggle("b", "svc2", rollout_fraction=1.0))
+        store.disable("b")
+        store.is_enabled("a", "u1")
+        return store
+
+    def test_snapshot_restore_round_trip(self):
+        store = self.make_store()
+        restored = ToggleStore()
+        restored.restore(store.snapshot())
+        assert len(restored) == len(store)
+        assert restored.evaluations == store.evaluations
+        for toggle in store.all_toggles():
+            twin = restored.get(toggle.name)
+            assert twin == toggle
+
+    def test_snapshot_is_json_compatible(self):
+        import json
+
+        dump = self.make_store().snapshot()
+        assert json.loads(json.dumps(dump)) == dump
+
+    def test_restore_replaces_existing_contents(self):
+        store = self.make_store()
+        restored = ToggleStore()
+        restored.register(FeatureToggle("stale", "svc"))
+        restored.restore(store.snapshot())
+        with pytest.raises(ConfigurationError):
+            restored.get("stale")
+
+    def test_restore_rejects_malformed_document(self):
+        with pytest.raises(ConfigurationError):
+            ToggleStore().restore({"toggles": [{"name": "x"}], "evaluations": 0})
+
+    def test_restore_rejects_invalid_fraction(self):
+        dump = self.make_store().snapshot()
+        dump["toggles"][0]["rollout_fraction"] = 3.0
+        with pytest.raises(ConfigurationError):
+            ToggleStore().restore(dump)
+
+
 class TestToggleRouter:
     def test_routes_enabled_users_to_experimental(self, canary_app):
         router = ToggleRouter()
