@@ -22,6 +22,15 @@ from repro.fenrir.fitness import (
     evaluate,
     objective_breakdown,
 )
+from repro.fenrir.fastfit import (
+    DeltaEvaluator,
+    EvalStats,
+    EvaluatorOptions,
+    FitnessCache,
+    ParallelEvaluator,
+    SEED_OPTIONS,
+    publish_eval_stats,
+)
 from repro.fenrir.genetic import GeneticAlgorithm
 from repro.fenrir.random_sampling import RandomSampling
 from repro.fenrir.local_search import LocalSearch
@@ -47,6 +56,13 @@ __all__ = [
     "evaluate",
     "ObjectiveBreakdown",
     "objective_breakdown",
+    "DeltaEvaluator",
+    "EvalStats",
+    "EvaluatorOptions",
+    "FitnessCache",
+    "ParallelEvaluator",
+    "SEED_OPTIONS",
+    "publish_eval_stats",
     "GeneticAlgorithm",
     "RandomSampling",
     "LocalSearch",

@@ -3,6 +3,9 @@
 Same single-gene neighborhood as local search, but worse moves are
 accepted with probability ``exp(delta / T)`` under an exponentially
 cooling temperature, allowing escapes from local optima early on.
+
+Each proposal differs from the current schedule in one gene (unless
+repair moved more), so it is scored incrementally via the fastfit layer.
 """
 
 from __future__ import annotations
@@ -10,6 +13,7 @@ from __future__ import annotations
 import math
 
 from repro.fenrir.base import BudgetedEvaluator, SearchAlgorithm, SearchResult
+from repro.fenrir.fastfit import EvaluatorOptions
 from repro.fenrir.fitness import FitnessWeights
 from repro.fenrir.local_search import _warm_start
 from repro.fenrir.model import SchedulingProblem
@@ -43,9 +47,10 @@ class SimulatedAnnealing(SearchAlgorithm):
         weights: FitnessWeights | None = None,
         initial: Schedule | None = None,
         locked: frozenset[int] = frozenset(),
+        options: EvaluatorOptions | None = None,
     ) -> SearchResult:
         rng = SeededRng(seed)
-        evaluator = BudgetedEvaluator(budget, weights)
+        evaluator = BudgetedEvaluator(budget, weights, options=options)
         current, current_score = _warm_start(
             problem, evaluator, rng, initial, locked,
             draws=min(self.warm_start, max(1, budget // 10)),
@@ -62,9 +67,13 @@ class SimulatedAnnealing(SearchAlgorithm):
             neighbor = current.replaced(
                 index, mutate_gene(problem, spec, current.genes[index], rng)
             )
+            changed: frozenset[int] | None = frozenset({index})
             if rng.random() < self.repair_rate:
                 neighbor = pack_repair(neighbor, rng, locked)
-            score = evaluator.evaluate(neighbor).penalized
+                changed = None  # repair may move any free gene
+            score = evaluator.evaluate(
+                neighbor, parent=current, changed=changed
+            ).penalized
             delta = score - current_score
             if delta >= 0 or rng.random() < math.exp(delta / max(temperature, 1e-9)):
                 current, current_score = neighbor, score

@@ -5,6 +5,13 @@ comparison (Figs 3.4–3.6, Tables 3.2–3.3) is apples-to-apples, and report
 both their final best schedule and the wall-clock moment they last
 improved ("time to best") — the paper's execution-time comparison hinges
 on how quickly an algorithm reaches its final quality.
+
+The evaluator is layered over :mod:`repro.fenrir.fastfit`: evaluations
+are memoized by chromosome fingerprint, children are scored incrementally
+from cached parent states when the caller names a parent, and population
+scoring can fan out over a pool — all behind :class:`EvaluatorOptions`,
+with :data:`repro.fenrir.fastfit.SEED_OPTIONS` restoring the original
+recompute-everything behaviour.
 """
 
 from __future__ import annotations
@@ -12,7 +19,15 @@ from __future__ import annotations
 import abc
 import time
 from dataclasses import dataclass, field
+from typing import Iterable, Sequence
 
+from repro.fenrir.fastfit import (
+    DeltaEvaluator,
+    EvalStats,
+    EvaluatorOptions,
+    FitnessCache,
+    publish_eval_stats,
+)
 from repro.fenrir.fitness import FitnessWeights, ScheduleEvaluation, evaluate
 from repro.fenrir.model import SchedulingProblem
 from repro.fenrir.schedule import Schedule
@@ -29,6 +44,7 @@ class SearchResult:
     wall_time_s: float
     time_to_best_s: float
     history: list[tuple[int, float]] = field(default_factory=list)
+    eval_stats: EvalStats | None = None
 
     @property
     def fitness(self) -> float:
@@ -42,22 +58,42 @@ class BudgetedEvaluator:
     The incumbent ordering prefers *valid* schedules by strict fitness and
     falls back to the penalized score among invalid ones, so a search that
     never finds a feasible schedule still returns its least-bad attempt.
+
+    Budget semantics: by default only *computed* evaluations (full or
+    delta) consume budget; memo-cache hits are free.  Because free hits
+    let a converged search loop without spending budget, :attr:`exhausted`
+    additionally trips after ``50 × budget`` total evaluation requests — a
+    stall guard that never fires on healthy runs.
     """
 
-    def __init__(self, budget: int, weights: FitnessWeights | None = None) -> None:
+    def __init__(
+        self,
+        budget: int,
+        weights: FitnessWeights | None = None,
+        options: EvaluatorOptions | None = None,
+    ) -> None:
         self.budget = budget
         self.weights = weights or FitnessWeights()
+        self.options = options or EvaluatorOptions()
         self.used = 0
+        self.calls = 0
+        self._call_cap = max(budget * 50, budget + 1000)
+        self.stats = EvalStats()
         self.best_schedule: Schedule | None = None
         self.best_evaluation: ScheduleEvaluation | None = None
         self.history: list[tuple[int, float]] = []
         self._start = time.perf_counter()
         self.time_to_best_s = 0.0
+        self._cache = (
+            FitnessCache(self.options.cache_size) if self.options.use_cache else None
+        )
+        self._delta: DeltaEvaluator | None = None
+        self._problem: SchedulingProblem | None = None
 
     @property
     def exhausted(self) -> bool:
-        """Whether the evaluation budget is spent."""
-        return self.used >= self.budget
+        """Whether the evaluation budget (or the stall guard) is spent."""
+        return self.used >= self.budget or self.calls >= self._call_cap
 
     def _better(self, e: ScheduleEvaluation) -> bool:
         incumbent = self.best_evaluation
@@ -69,20 +105,180 @@ class BudgetedEvaluator:
             return e.fitness > incumbent.fitness
         return e.penalized > incumbent.penalized
 
-    def evaluate(self, schedule: Schedule) -> ScheduleEvaluation:
-        """Evaluate one schedule, updating budget and incumbent."""
-        self.used += 1
-        evaluation = evaluate(schedule, self.weights)
+    def _consider(
+        self, schedule: Schedule, evaluation: ScheduleEvaluation, used_at: int
+    ) -> None:
         if self._better(evaluation):
             self.best_schedule = schedule.copy()
             self.best_evaluation = evaluation
-            self.history.append((self.used, evaluation.fitness))
+            self.history.append((used_at, evaluation.fitness))
             self.time_to_best_s = time.perf_counter() - self._start
+
+    def _fast_path(self, schedule: Schedule) -> bool:
+        """Whether the cache/delta layer applies to *schedule*.
+
+        The layer is bound to the first problem it sees; schedules of a
+        different problem instance (a misuse, but a cheap one to survive)
+        bypass it and are evaluated directly.
+        """
+        if self._problem is None:
+            self._problem = schedule.problem
+        return schedule.problem is self._problem
+
+    def evaluate(
+        self,
+        schedule: Schedule,
+        parent: Schedule | None = None,
+        changed: Iterable[int] | None = None,
+    ) -> ScheduleEvaluation:
+        """Evaluate one schedule, updating budget and incumbent.
+
+        *parent* may name an already-evaluated schedule the candidate was
+        derived from; with the delta layer enabled the evaluation is then
+        computed incrementally.  *changed* optionally narrows the delta to
+        the given gene indices (a superset is fine; ``None`` diffs the
+        chromosomes).
+        """
+        t0 = time.perf_counter()
+        self.calls += 1
+        if not self._fast_path(schedule):
+            self.used += 1
+            self.stats.full_evals += 1
+            evaluation = evaluate(schedule, self.weights)
+            self._consider(schedule, evaluation, self.used)
+            self.stats.wall_time_s += time.perf_counter() - t0
+            return evaluation
+        key = schedule.key()
+        if self._cache is not None:
+            hit = self._cache.get(key)
+            if hit is not None:
+                self.stats.cache_hits += 1
+                if self.options.count_cache_hits:
+                    self.used += 1
+                self.stats.wall_time_s += time.perf_counter() - t0
+                return hit
+        self.used += 1
+        evaluation = self._compute(schedule, key, parent, changed)
+        if self._cache is not None:
+            self._cache.put(key, evaluation)
+        self._consider(schedule, evaluation, self.used)
+        self.stats.wall_time_s += time.perf_counter() - t0
         return evaluation
 
+    def _compute(
+        self,
+        schedule: Schedule,
+        key: tuple,
+        parent: Schedule | None,
+        changed: Iterable[int] | None,
+    ) -> ScheduleEvaluation:
+        if self.options.use_delta:
+            if self._delta is None:
+                self._delta = DeltaEvaluator(
+                    schedule.problem,
+                    self.weights,
+                    state_size=self.options.state_size,
+                    max_delta_fraction=self.options.max_delta_fraction,
+                )
+            evaluation, used_delta = self._delta.evaluate(
+                schedule, parent=parent, changed=changed, key=key
+            )
+            if used_delta:
+                self.stats.delta_evals += 1
+            else:
+                self.stats.full_evals += 1
+            return evaluation
+        self.stats.full_evals += 1
+        return evaluate(schedule, self.weights)
+
+    def evaluate_population(
+        self,
+        schedules: Sequence[Schedule],
+        parents: Sequence[Schedule | None] | None = None,
+        changed_sets: Sequence[Iterable[int] | None] | None = None,
+        enforce_budget: bool = True,
+    ) -> list[ScheduleEvaluation]:
+        """Score a population, optionally in parallel.
+
+        With ``enforce_budget`` every request past exhaustion is padded
+        with :meth:`ScheduleEvaluation.worst` (keeping rankings
+        well-defined), exactly like scoring the population serially.  When
+        :attr:`EvaluatorOptions.parallel` is set, cache misses are fanned
+        out to the pool; budget charging, incumbent updates, and history
+        are identical to the serial order, so scores and results match
+        serial evaluation bit-for-bit.
+        """
+        parents = parents if parents is not None else [None] * len(schedules)
+        changed_sets = (
+            changed_sets if changed_sets is not None else [None] * len(schedules)
+        )
+        pool = self.options.parallel
+        if pool is None or not all(self._fast_path(s) for s in schedules):
+            out: list[ScheduleEvaluation] = []
+            for schedule, parent, changed in zip(schedules, parents, changed_sets):
+                if enforce_budget and self.exhausted:
+                    out.append(ScheduleEvaluation.worst())
+                else:
+                    out.append(self.evaluate(schedule, parent=parent, changed=changed))
+            return out
+
+        t0 = time.perf_counter()
+        results: list[ScheduleEvaluation | None] = [None] * len(schedules)
+        # First pass replays the serial charging order without computing
+        # anything: decide hit / charged-miss / padded per index.  A repeat
+        # of an earlier miss in the same batch is a cache hit serially
+        # (evaluation and cache-put happen inline there), so it is counted
+        # as one here too and filled from the first occurrence's result.
+        misses: list[tuple[int, tuple, int]] = []  # (index, key, used_at)
+        pending: dict[tuple, int] = {}  # key -> index of first miss
+        dupes: list[tuple[int, int]] = []  # (index, index of first miss)
+        for i, schedule in enumerate(schedules):
+            if enforce_budget and self.exhausted:
+                results[i] = ScheduleEvaluation.worst()
+                continue
+            self.calls += 1
+            key = schedule.key()
+            if self._cache is not None:
+                hit = self._cache.get(key)
+                if hit is not None:
+                    self.stats.cache_hits += 1
+                    if self.options.count_cache_hits:
+                        self.used += 1
+                    results[i] = hit
+                    continue
+                first = pending.get(key)
+                if first is not None:
+                    self.stats.cache_hits += 1
+                    if self.options.count_cache_hits:
+                        self.used += 1
+                    dupes.append((i, first))
+                    continue
+                pending[key] = i
+            self.used += 1
+            misses.append((i, key, self.used))
+        if misses:
+            evaluations = pool.evaluate_schedules(
+                self._problem,
+                [schedules[i].genes for i, _, _ in misses],
+                self.weights,
+            )
+            self.stats.full_evals += len(misses)
+            for (i, key, used_at), evaluation in zip(misses, evaluations):
+                if self._cache is not None:
+                    self._cache.put(key, evaluation)
+                results[i] = evaluation
+                self._consider(schedules[i], evaluation, used_at)
+        for i, first in dupes:
+            results[i] = results[first]
+        self.stats.wall_time_s += time.perf_counter() - t0
+        return [r for r in results if r is not None]
+
     def result(self, algorithm: str) -> SearchResult:
-        """Finalize into a :class:`SearchResult`."""
+        """Finalize into a :class:`SearchResult`, publishing telemetry."""
         assert self.best_schedule is not None and self.best_evaluation is not None
+        stats = self.stats.copy()
+        if self.options.telemetry is not None:
+            publish_eval_stats(self.options.telemetry, algorithm, stats)
         return SearchResult(
             algorithm=algorithm,
             best_schedule=self.best_schedule,
@@ -91,6 +287,7 @@ class BudgetedEvaluator:
             wall_time_s=time.perf_counter() - self._start,
             time_to_best_s=self.time_to_best_s,
             history=list(self.history),
+            eval_stats=stats,
         )
 
 
@@ -108,6 +305,7 @@ class SearchAlgorithm(abc.ABC):
         weights: FitnessWeights | None = None,
         initial: Schedule | None = None,
         locked: frozenset[int] = frozenset(),
+        options: EvaluatorOptions | None = None,
     ) -> SearchResult:
         """Search for a high-fitness schedule.
 
@@ -119,4 +317,6 @@ class SearchAlgorithm(abc.ABC):
             initial: an existing schedule to improve (reevaluation mode).
             locked: indices of genes that must not change (already-running
                 experiments during reevaluation).
+            options: evaluation-layer configuration (memoization, delta
+                evaluation, parallel scoring, telemetry export).
         """

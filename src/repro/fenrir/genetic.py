@@ -4,11 +4,17 @@ Operates on the value-encoded chromosome (Fig 3.1): tournament selection
 on the penalized score, one-point crossover at experiment boundaries
 (Fig 3.2), per-gene mutation, a greedy overlap repair applied to a share
 of the offspring, and elitism.
+
+Offspring are scored through the fastfit layer: each child names the
+parent it descends from (and, for mutation-only children, the exact genes
+touched), so the evaluator can score it incrementally; elites re-enter
+scoring as free cache hits.
 """
 
 from __future__ import annotations
 
 from repro.fenrir.base import BudgetedEvaluator, SearchAlgorithm, SearchResult
+from repro.fenrir.fastfit import EvaluatorOptions
 from repro.fenrir.fitness import FitnessWeights, ScheduleEvaluation
 from repro.fenrir.model import SchedulingProblem
 from repro.fenrir.operators import crossover, mutate_gene, pack_repair, random_schedule
@@ -43,9 +49,10 @@ class GeneticAlgorithm(SearchAlgorithm):
         weights: FitnessWeights | None = None,
         initial: Schedule | None = None,
         locked: frozenset[int] = frozenset(),
+        options: EvaluatorOptions | None = None,
     ) -> SearchResult:
         rng = SeededRng(seed)
-        evaluator = BudgetedEvaluator(budget, weights)
+        evaluator = BudgetedEvaluator(budget, weights, options=options)
         n_genes = len(problem.experiments)
         mutation_rate = min(0.5, 2.0 / max(1, n_genes))
 
@@ -54,15 +61,17 @@ class GeneticAlgorithm(SearchAlgorithm):
             if initial is not None and i < max(1, self.population_size // 4):
                 candidate = initial.copy()
                 if i > 0:
-                    candidate = self._mutated(problem, candidate, rng, 1.5 * mutation_rate, locked)
+                    candidate, _ = self._mutated(
+                        problem, candidate, rng, 1.5 * mutation_rate, locked
+                    )
             else:
                 candidate = random_schedule(
                     problem, rng, packed=True, initial=initial, locked=locked
                 )
             population.append(candidate)
-        scores: list[ScheduleEvaluation] = [
-            evaluator.evaluate(s) for s in population
-        ]
+        scores: list[ScheduleEvaluation] = evaluator.evaluate_population(
+            population, enforce_budget=False
+        )
 
         while not evaluator.exhausted:
             ranked = sorted(
@@ -73,30 +82,35 @@ class GeneticAlgorithm(SearchAlgorithm):
             next_population: list[Schedule] = [
                 population[i] for i in ranked[: self.elite]
             ]
+            # Per-child provenance for incremental scoring: the parent the
+            # child descends from and, when exactly known, the changed genes.
+            parents: list[Schedule | None] = [None] * len(next_population)
+            changed_sets: list[frozenset[int] | None] = [None] * len(next_population)
             while len(next_population) < self.population_size:
                 parent_a = self._tournament(population, scores, rng)
                 parent_b = self._tournament(population, scores, rng)
-                if rng.random() < self.crossover_rate:
+                crossed = rng.random() < self.crossover_rate
+                if crossed:
                     child_a, child_b = crossover(parent_a, parent_b, rng)
                 else:
                     child_a, child_b = parent_a.copy(), parent_b.copy()
-                for child in (child_a, child_b):
-                    mutated = self._mutated(problem, child, rng, mutation_rate, locked)
+                for child, parent in ((child_a, parent_a), (child_b, parent_b)):
+                    mutated, mutated_idx = self._mutated(
+                        problem, child, rng, mutation_rate, locked
+                    )
+                    changed = None if crossed else mutated_idx
                     if rng.random() < self.repair_rate:
                         mutated = pack_repair(mutated, rng, locked)
+                        changed = None  # repair may move any free gene
                     next_population.append(mutated)
+                    parents.append(parent)
+                    changed_sets.append(changed)
                     if len(next_population) >= self.population_size:
                         break
             population = next_population
-            scores = []
-            for schedule in population:
-                if evaluator.exhausted:
-                    # Pad with worst score so ranking stays well-defined.
-                    scores.append(
-                        ScheduleEvaluation(0.0, False, float("-inf"))
-                    )
-                else:
-                    scores.append(evaluator.evaluate(schedule))
+            scores = evaluator.evaluate_population(
+                population, parents=parents, changed_sets=changed_sets
+            )
         return evaluator.result(self.name)
 
     def _tournament(
@@ -119,11 +133,14 @@ class GeneticAlgorithm(SearchAlgorithm):
         rng: SeededRng,
         rate: float,
         locked: frozenset[int],
-    ) -> Schedule:
+    ) -> tuple[Schedule, frozenset[int]]:
+        """Mutate free genes at *rate*; returns the touched indices too."""
         genes = list(schedule.genes)
+        touched: set[int] = set()
         for index, spec in enumerate(problem.experiments):
             if index in locked:
                 continue
             if rng.random() < rate:
                 genes[index] = mutate_gene(problem, spec, genes[index], rng)
-        return Schedule(problem, genes)
+                touched.add(index)
+        return Schedule(problem, genes), frozenset(touched)

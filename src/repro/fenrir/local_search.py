@@ -1,9 +1,15 @@
 """Local search baseline (Section 3.5.3): first-improvement hill climbing
-with random restarts."""
+with random restarts.
+
+Neighbors differ from the incumbent in exactly one gene (unless repair
+moved more), so they are scored incrementally through the fastfit layer
+by naming the incumbent as delta parent.
+"""
 
 from __future__ import annotations
 
 from repro.fenrir.base import BudgetedEvaluator, SearchAlgorithm, SearchResult
+from repro.fenrir.fastfit import EvaluatorOptions
 from repro.fenrir.fitness import FitnessWeights
 from repro.fenrir.model import SchedulingProblem
 from repro.fenrir.operators import mutate_gene, pack_repair, random_schedule
@@ -60,18 +66,21 @@ class LocalSearch(SearchAlgorithm):
         schedule: Schedule,
         rng: SeededRng,
         locked: frozenset[int],
-    ) -> Schedule:
+    ) -> tuple[Schedule, frozenset[int] | None]:
+        """A mutated neighbor and the changed genes (None when unknown)."""
         free = [i for i in range(len(schedule.genes)) if i not in locked]
         if not free:
-            return schedule.copy()
+            return schedule.copy(), frozenset()
         index = rng.choice(free)
         spec = problem.experiments[index]
         neighbor = schedule.replaced(
             index, mutate_gene(problem, spec, schedule.genes[index], rng)
         )
+        changed: frozenset[int] | None = frozenset({index})
         if rng.random() < self.repair_rate:
             neighbor = pack_repair(neighbor, rng, locked)
-        return neighbor
+            changed = None  # repair may move any free gene
+        return neighbor, changed
 
     def optimize(
         self,
@@ -81,17 +90,20 @@ class LocalSearch(SearchAlgorithm):
         weights: FitnessWeights | None = None,
         initial: Schedule | None = None,
         locked: frozenset[int] = frozenset(),
+        options: EvaluatorOptions | None = None,
     ) -> SearchResult:
         rng = SeededRng(seed)
-        evaluator = BudgetedEvaluator(budget, weights)
+        evaluator = BudgetedEvaluator(budget, weights, options=options)
         current, current_score = _warm_start(
             problem, evaluator, rng, initial, locked,
             draws=min(self.warm_start, max(1, budget // 10)),
         )
         stall = 0
         while not evaluator.exhausted:
-            neighbor = self._neighbor(problem, current, rng, locked)
-            score = evaluator.evaluate(neighbor).penalized
+            neighbor, changed = self._neighbor(problem, current, rng, locked)
+            score = evaluator.evaluate(
+                neighbor, parent=current, changed=changed
+            ).penalized
             if score > current_score:
                 current, current_score = neighbor, score
                 stall = 0

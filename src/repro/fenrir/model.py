@@ -76,7 +76,12 @@ class SchedulingProblem:
         names = [e.name for e in self.experiments]
         if len(set(names)) != len(names):
             raise ConfigurationError(f"duplicate experiment names in {names}")
-        known = set(self.profile.group_names)
+        # Group order and index are fixed per problem: evaluation's hot
+        # loops look them up instead of rebuilding dicts per call.
+        self._group_names = tuple(self.profile.group_names)
+        self._group_index = {name: i for i, name in enumerate(self._group_names)}
+        self._total_weight = sum(spec.weight for spec in self.experiments) or 1.0
+        known = set(self._group_names)
         # Prefix sums over total slot volumes: since a group's volume is
         # ``total * share``, any (window, groups) volume factorizes into
         # prefix-sum difference times summed shares — O(1) per query.
@@ -102,6 +107,21 @@ class SchedulingProblem:
     def horizon(self) -> int:
         """Number of slots available for scheduling."""
         return self.profile.num_slots
+
+    @property
+    def group_names(self) -> tuple[str, ...]:
+        """Group names in declaration order, cached per problem."""
+        return self._group_names
+
+    @property
+    def group_index(self) -> dict[str, int]:
+        """Group name → position in :attr:`group_names`, cached per problem."""
+        return self._group_index
+
+    @property
+    def total_weight(self) -> float:
+        """Summed experiment weights (1.0 when there are no experiments)."""
+        return self._total_weight
 
     def spec(self, name: str) -> ExperimentSpec:
         """Look up an experiment by name."""

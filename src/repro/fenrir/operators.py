@@ -220,9 +220,9 @@ def pack_repair(
     """
     problem = schedule.problem
     horizon = problem.horizon
-    group_names = problem.profile.group_names
+    group_names = problem.group_names
     n_groups = len(group_names)
-    group_index = {name: i for i, name in enumerate(group_names)}
+    group_index = problem.group_index
     free = [i for i in range(len(schedule.genes)) if i not in locked]
     rng.shuffle(free)
     # Locked genes claim their capacity first and are never moved.

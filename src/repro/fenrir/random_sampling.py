@@ -1,8 +1,15 @@
-"""Random sampling baseline (Section 3.5.2): best of N random schedules."""
+"""Random sampling baseline (Section 3.5.2): best of N random schedules.
+
+Independent draws share no parent, so random sampling gains nothing from
+delta evaluation — it still flows through the fastfit layer for
+memoization (duplicate draws are free by default) and the evaluation
+counters.
+"""
 
 from __future__ import annotations
 
 from repro.fenrir.base import BudgetedEvaluator, SearchAlgorithm, SearchResult
+from repro.fenrir.fastfit import EvaluatorOptions
 from repro.fenrir.fitness import FitnessWeights
 from repro.fenrir.model import SchedulingProblem
 from repro.fenrir.operators import random_schedule
@@ -26,9 +33,10 @@ class RandomSampling(SearchAlgorithm):
         weights: FitnessWeights | None = None,
         initial: Schedule | None = None,
         locked: frozenset[int] = frozenset(),
+        options: EvaluatorOptions | None = None,
     ) -> SearchResult:
         rng = SeededRng(seed)
-        evaluator = BudgetedEvaluator(budget, weights)
+        evaluator = BudgetedEvaluator(budget, weights, options=options)
         if initial is not None:
             evaluator.evaluate(initial)
         while not evaluator.exhausted:

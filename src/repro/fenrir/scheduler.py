@@ -6,6 +6,7 @@ from dataclasses import dataclass
 
 from repro.errors import InfeasibleScheduleError
 from repro.fenrir.base import SearchAlgorithm, SearchResult
+from repro.fenrir.fastfit import EvaluatorOptions
 from repro.fenrir.fitness import FitnessWeights
 from repro.fenrir.genetic import GeneticAlgorithm
 from repro.fenrir.model import ExperimentSpec, SchedulingProblem
@@ -67,9 +68,11 @@ class Fenrir:
         self,
         algorithm: SearchAlgorithm | None = None,
         weights: FitnessWeights | None = None,
+        options: EvaluatorOptions | None = None,
     ) -> None:
         self.algorithm = algorithm or GeneticAlgorithm()
         self.weights = weights or FitnessWeights()
+        self.options = options
 
     def schedule(
         self,
@@ -88,7 +91,11 @@ class Fenrir:
         """
         problem = SchedulingProblem(profile, list(experiments))
         search = self.algorithm.optimize(
-            problem, budget=budget, seed=seed, weights=self.weights
+            problem,
+            budget=budget,
+            seed=seed,
+            weights=self.weights,
+            options=self.options,
         )
         if require_valid and not search.best_evaluation.valid:
             raise InfeasibleScheduleError(

@@ -71,6 +71,7 @@ class TrafficProfile:
             raise ConfigurationError("slot duration must be positive")
         self._volumes = [float(v) for v in slot_volumes]
         self._groups = {g.name: g for g in groups}
+        self._group_names = tuple(self._groups)
         self.slot_duration_hours = float(slot_duration_hours)
 
     @property
@@ -79,9 +80,9 @@ class TrafficProfile:
         return len(self._volumes)
 
     @property
-    def group_names(self) -> list[str]:
-        """Names of all user groups, in declaration order."""
-        return list(self._groups)
+    def group_names(self) -> tuple[str, ...]:
+        """Names of all user groups, in declaration order (cached)."""
+        return self._group_names
 
     @property
     def groups(self) -> list[UserGroup]:

@@ -1,0 +1,181 @@
+"""Property: incremental (delta) evaluation is exactly full evaluation.
+
+For randomly generated problems and random gene-delta sequences, the
+:class:`DeltaEvaluator` must return evaluations *equal* to a fresh full
+:func:`evaluate` — same fitness, penalized score, validity, violations
+(as sequences, hence also as multisets), and per-experiment scores.
+Generated genes are deliberately allowed to be infeasible (beyond the
+horizon, out of bounds, oversubscribed) so every violation kind flows
+through the delta path.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fenrir.fastfit import DeltaEvaluator
+from repro.fenrir.fitness import FitnessWeights, evaluate
+from repro.fenrir.model import ExperimentSpec, SchedulingProblem
+from repro.fenrir.schedule import Gene, Schedule
+from repro.traffic.profile import UserGroup, flat_profile
+
+GROUP_NAMES = ("alpha", "beta", "gamma", "delta")
+
+
+@st.composite
+def problems(draw):
+    n_groups = draw(st.integers(min_value=1, max_value=4))
+    shares = draw(
+        st.lists(
+            st.floats(min_value=0.05, max_value=1.0),
+            min_size=n_groups,
+            max_size=n_groups,
+        )
+    )
+    total = sum(shares)
+    groups = tuple(
+        UserGroup(name, share / total)
+        for name, share in zip(GROUP_NAMES, shares)
+    )
+    num_slots = draw(st.integers(min_value=6, max_value=28))
+    volume = draw(st.floats(min_value=10.0, max_value=5000.0))
+    profile = flat_profile(num_slots, volume, groups)
+
+    n_exp = draw(st.integers(min_value=1, max_value=6))
+    specs = []
+    names = [g.name for g in groups]
+    for i in range(n_exp):
+        min_dur = draw(st.integers(min_value=1, max_value=4))
+        max_dur = draw(st.integers(min_value=min_dur, max_value=num_slots))
+        min_frac = draw(st.floats(min_value=0.01, max_value=0.3))
+        max_frac = draw(st.floats(min_value=min_frac, max_value=1.0))
+        preferred = draw(
+            st.frozensets(st.sampled_from(names), max_size=len(names))
+        )
+        specs.append(
+            ExperimentSpec(
+                name=f"exp-{i}",
+                required_samples=draw(st.floats(min_value=1.0, max_value=1e5)),
+                min_duration_slots=min_dur,
+                max_duration_slots=max_dur,
+                min_traffic_fraction=min_frac,
+                max_traffic_fraction=max_frac,
+                preferred_groups=preferred,
+                earliest_start=draw(
+                    st.integers(min_value=0, max_value=num_slots - 1)
+                ),
+                weight=draw(st.floats(min_value=0.1, max_value=5.0)),
+            )
+        )
+    return SchedulingProblem(profile, specs)
+
+
+def raw_genes(problem: SchedulingProblem):
+    """Arbitrary (possibly infeasible) genes for *problem*."""
+    names = list(problem.group_names)
+    horizon = problem.horizon
+    return st.builds(
+        Gene,
+        start=st.integers(min_value=0, max_value=horizon + 4),
+        duration=st.integers(min_value=1, max_value=horizon + 4),
+        fraction=st.floats(
+            min_value=0.001, max_value=1.0, exclude_min=False
+        ),
+        groups=st.frozensets(
+            st.sampled_from(names), min_size=1, max_size=len(names)
+        ),
+    )
+
+
+@st.composite
+def delta_chains(draw):
+    """A problem, an initial chromosome, and a sequence of gene patches."""
+    problem = draw(problems())
+    gene = raw_genes(problem)
+    n = len(problem.experiments)
+    initial = draw(st.lists(gene, min_size=n, max_size=n))
+    steps = draw(
+        st.lists(
+            st.lists(
+                st.tuples(st.integers(min_value=0, max_value=n - 1), gene),
+                min_size=1,
+                max_size=max(1, n),
+            ),
+            min_size=1,
+            max_size=8,
+        )
+    )
+    return problem, initial, steps
+
+
+def assert_equivalent(got, want):
+    assert got.fitness == want.fitness
+    assert got.penalized == want.penalized
+    assert got.valid == want.valid
+    assert got.per_experiment == want.per_experiment
+    assert got.violations == want.violations
+    assert Counter(got.violations) == Counter(want.violations)
+    assert got == want
+
+
+class TestDeltaExactness:
+    @settings(max_examples=60, deadline=None)
+    @given(delta_chains())
+    def test_delta_chain_equals_full_evaluation(self, chain):
+        problem, initial, steps = chain
+        delta = DeltaEvaluator(problem)
+        current = Schedule(problem, initial)
+        got, used_delta = delta.evaluate(current)
+        assert not used_delta
+        assert_equivalent(got, evaluate(current))
+        for patches in steps:
+            genes = list(current.genes)
+            changed = set()
+            for index, gene in patches:
+                genes[index] = gene
+                changed.add(index)
+            child = Schedule(problem, genes)
+            got, _ = delta.evaluate(child, parent=current, changed=changed)
+            assert_equivalent(got, evaluate(child))
+            current = child
+
+    @settings(max_examples=40, deadline=None)
+    @given(delta_chains())
+    def test_inferred_diff_equals_hinted_diff(self, chain):
+        problem, initial, steps = chain
+        hinted = DeltaEvaluator(problem)
+        inferred = DeltaEvaluator(problem)
+        current = Schedule(problem, initial)
+        hinted.evaluate(current)
+        inferred.evaluate(current)
+        for patches in steps:
+            genes = list(current.genes)
+            changed = set()
+            for index, gene in patches:
+                genes[index] = gene
+                changed.add(index)
+            child = Schedule(problem, genes)
+            with_hint, _ = hinted.evaluate(child, parent=current, changed=changed)
+            without, _ = inferred.evaluate(child, parent=current, changed=None)
+            assert_equivalent(with_hint, without)
+            current = child
+
+    @settings(max_examples=30, deadline=None)
+    @given(delta_chains())
+    def test_nondefault_weights_flow_through_delta(self, chain):
+        problem, initial, steps = chain
+        weights = FitnessWeights(duration=0.2, start=0.3, coverage=0.5)
+        delta = DeltaEvaluator(problem, weights=weights)
+        current = Schedule(problem, initial)
+        delta.evaluate(current)
+        for patches in steps[:3]:
+            genes = list(current.genes)
+            for index, gene in patches:
+                genes[index] = gene
+            child = Schedule(problem, genes)
+            got, _ = delta.evaluate(child, parent=current)
+            assert_equivalent(got, evaluate(child, weights))
+            current = child

@@ -1,0 +1,351 @@
+"""The fastfit evaluation layer: memoization, deltas, parallel scoring,
+budget accounting, and the evaluation counters surfaced in results."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.fenrir.base import BudgetedEvaluator
+from repro.fenrir.fastfit import (
+    SEED_OPTIONS,
+    DeltaEvaluator,
+    EvalStats,
+    EvaluatorOptions,
+    FitnessCache,
+    ParallelEvaluator,
+    publish_eval_stats,
+)
+from repro.fenrir.fitness import ScheduleEvaluation, evaluate
+from repro.fenrir.genetic import GeneticAlgorithm
+from repro.fenrir.generator import SampleSizeBand, random_experiments
+from repro.fenrir.local_search import LocalSearch
+from repro.fenrir.model import ExperimentSpec, SchedulingProblem
+from repro.fenrir.operators import mutate_gene, random_schedule
+from repro.fenrir.random_sampling import RandomSampling
+from repro.fenrir.annealing import SimulatedAnnealing
+from repro.simulation.rng import SeededRng
+from repro.telemetry import MetricStore
+
+
+@pytest.fixture
+def problem(profile) -> SchedulingProblem:
+    experiments = random_experiments(
+        profile, count=5, band=SampleSizeBand.LOW, seed=2
+    )
+    return SchedulingProblem(profile, experiments)
+
+
+def distinct_schedules(problem, count, seed=0):
+    rng = SeededRng(seed)
+    out = []
+    seen = set()
+    while len(out) < count:
+        s = random_schedule(problem, rng)
+        if s.key() not in seen:
+            seen.add(s.key())
+            out.append(s)
+    return out
+
+
+class TestWorstSentinel:
+    def test_fields(self):
+        worst = ScheduleEvaluation.worst()
+        assert worst.fitness == 0.0
+        assert worst.valid is False
+        assert worst.penalized == float("-inf")
+        assert worst.violations == ()
+        assert worst.per_experiment == ()
+
+    def test_ranks_below_any_real_evaluation(self, problem):
+        real = evaluate(random_schedule(problem, SeededRng(0)))
+        assert ScheduleEvaluation.worst().penalized < real.penalized
+
+
+class TestFitnessCache:
+    def test_rejects_nonpositive_size(self):
+        with pytest.raises(ConfigurationError):
+            FitnessCache(0)
+
+    def test_hit_and_miss_counters(self):
+        cache = FitnessCache(4)
+        assert cache.get(("a",)) is None
+        cache.put(("a",), ScheduleEvaluation.worst())
+        assert cache.get(("a",)) is not None
+        assert cache.misses == 1
+        assert cache.hits == 1
+
+    def test_lru_eviction_prefers_recently_used(self):
+        cache = FitnessCache(2)
+        cache.put(("a",), ScheduleEvaluation.worst())
+        cache.put(("b",), ScheduleEvaluation.worst())
+        cache.get(("a",))  # refresh "a" so "b" is least recently used
+        cache.put(("c",), ScheduleEvaluation.worst())
+        assert cache.get(("a",)) is not None
+        assert cache.get(("b",)) is None
+        assert len(cache) == 2
+
+
+class TestDeltaEvaluator:
+    def test_single_mutation_matches_full(self, problem):
+        rng = SeededRng(3)
+        parent = random_schedule(problem, rng)
+        delta = DeltaEvaluator(problem)
+        base, used_delta = delta.evaluate(parent)
+        assert not used_delta
+        assert base == evaluate(parent)
+        child = parent.replaced(
+            1, mutate_gene(problem, problem.experiments[1], parent.genes[1], rng)
+        )
+        got, used_delta = delta.evaluate(child, parent=parent, changed={1})
+        assert used_delta
+        assert got == evaluate(child)
+
+    def test_superset_changed_hint_is_sanitized(self, problem):
+        rng = SeededRng(4)
+        parent = random_schedule(problem, rng)
+        delta = DeltaEvaluator(problem)
+        delta.evaluate(parent)
+        child = parent.replaced(
+            0, mutate_gene(problem, problem.experiments[0], parent.genes[0], rng)
+        )
+        # Hint names every index; only gene 0 actually differs.
+        got, used_delta = delta.evaluate(
+            child, parent=parent, changed=range(len(child.genes))
+        )
+        assert used_delta
+        assert got == evaluate(child)
+
+    def test_unknown_parent_falls_back_to_full(self, problem):
+        rng = SeededRng(5)
+        parent = random_schedule(problem, rng)
+        child = random_schedule(problem, rng)
+        delta = DeltaEvaluator(problem)
+        got, used_delta = delta.evaluate(child, parent=parent)
+        assert not used_delta
+        assert got == evaluate(child)
+
+    def test_large_change_sets_use_full_path(self, problem):
+        rng = SeededRng(6)
+        parent = random_schedule(problem, rng)
+        delta = DeltaEvaluator(problem, max_delta_fraction=0.2)
+        delta.evaluate(parent)
+        child = random_schedule(problem, rng)  # every gene differs
+        got, used_delta = delta.evaluate(child, parent=parent)
+        assert not used_delta
+        assert got == evaluate(child)
+
+    def test_state_store_is_bounded(self, problem):
+        delta = DeltaEvaluator(problem, state_size=3)
+        schedules = distinct_schedules(problem, 5, seed=7)
+        for s in schedules:
+            delta.evaluate(s)
+        assert not delta.has_state(schedules[0])
+        assert delta.has_state(schedules[-1])
+
+    def test_rejects_nonpositive_state_size(self, problem):
+        with pytest.raises(ConfigurationError):
+            DeltaEvaluator(problem, state_size=0)
+
+
+class TestBudgetedEvaluatorAccounting:
+    def test_budget_exhaustion_boundary(self, problem):
+        evaluator = BudgetedEvaluator(3)
+        for s in distinct_schedules(problem, 3, seed=8):
+            assert not evaluator.exhausted
+            evaluator.evaluate(s)
+        assert evaluator.used == 3
+        assert evaluator.exhausted
+
+    def test_cache_hit_is_free_by_default(self, problem):
+        evaluator = BudgetedEvaluator(2)
+        schedule = random_schedule(problem, SeededRng(9))
+        first = evaluator.evaluate(schedule)
+        again = evaluator.evaluate(schedule.copy())  # same chromosome, new object
+        assert again == first
+        assert evaluator.used == 1
+        assert evaluator.stats.cache_hits == 1
+        assert not evaluator.exhausted
+
+    def test_count_cache_hits_charges_budget(self, problem):
+        evaluator = BudgetedEvaluator(
+            2, options=EvaluatorOptions(count_cache_hits=True)
+        )
+        schedule = random_schedule(problem, SeededRng(9))
+        evaluator.evaluate(schedule)
+        evaluator.evaluate(schedule.copy())
+        assert evaluator.used == 2
+        assert evaluator.stats.cache_hits == 1
+        assert evaluator.exhausted  # hits alone can exhaust the budget
+
+    def test_stall_guard_trips_on_endless_cache_hits(self, problem):
+        evaluator = BudgetedEvaluator(1)
+        schedule = random_schedule(problem, SeededRng(10))
+        evaluator.evaluate(schedule)
+        spins = 0
+        while not evaluator.exhausted:
+            evaluator.evaluate(schedule)
+            spins += 1
+            assert spins <= 2000, "stall guard never tripped"
+        assert evaluator.used == 1  # only the first evaluation was computed
+
+    def test_seed_options_disable_cache_and_delta(self, problem):
+        evaluator = BudgetedEvaluator(5, options=SEED_OPTIONS)
+        schedule = random_schedule(problem, SeededRng(11))
+        evaluator.evaluate(schedule)
+        evaluator.evaluate(schedule, parent=schedule, changed=frozenset())
+        assert evaluator.used == 2
+        assert evaluator.stats.cache_hits == 0
+        assert evaluator.stats.delta_evals == 0
+        assert evaluator.stats.full_evals == 2
+
+    def test_used_matches_computed_evals(self, problem):
+        result = LocalSearch().optimize(problem, budget=120, seed=1)
+        stats = result.eval_stats
+        assert stats is not None
+        assert result.evaluations_used == stats.computed_evals
+        assert stats.delta_evals > 0  # single-gene moves score incrementally
+
+    def test_used_includes_hits_when_counted(self, problem):
+        result = LocalSearch().optimize(
+            problem,
+            budget=120,
+            seed=1,
+            options=EvaluatorOptions(count_cache_hits=True),
+        )
+        stats = result.eval_stats
+        assert result.evaluations_used == stats.computed_evals + stats.cache_hits
+
+
+class TestTelemetryExport:
+    def test_publish_eval_stats_records_counters(self):
+        store = MetricStore()
+        stats = EvalStats(full_evals=3, delta_evals=7, cache_hits=2, wall_time_s=0.5)
+        publish_eval_stats(store, "ga", stats)
+        for metric, value in stats.as_dict().items():
+            assert store.aggregate("fenrir", "ga", metric, "sum", 0.0, 1.0) == value
+
+    def test_search_result_counts_match_store(self, problem):
+        store = MetricStore()
+        result = SimulatedAnnealing().optimize(
+            problem, budget=100, seed=2, options=EvaluatorOptions(telemetry=store)
+        )
+        stats = result.eval_stats
+        for metric in ("full_evals", "delta_evals", "cache_hits"):
+            recorded = store.aggregate("fenrir", "annealing", metric, "sum", 0.0, 1.0)
+            assert recorded == stats.as_dict()[metric]
+
+
+class TestParallelEvaluator:
+    def test_rejects_bad_configuration(self):
+        with pytest.raises(ConfigurationError):
+            ParallelEvaluator(mode="gpu")
+        with pytest.raises(ConfigurationError):
+            ParallelEvaluator(chunk_size=0)
+
+    def test_thread_mode_matches_serial_in_order(self, problem):
+        schedules = distinct_schedules(problem, 9, seed=12)
+        genes_list = [s.genes for s in schedules]
+        serial = ParallelEvaluator(mode="serial").evaluate_schedules(
+            problem, genes_list
+        )
+        with ParallelEvaluator(mode="thread", chunk_size=2) as pool:
+            threaded = pool.evaluate_schedules(problem, genes_list)
+        assert threaded == serial
+        assert threaded == [evaluate(s) for s in schedules]
+
+    def test_auto_mode_produces_correct_scores(self, problem):
+        schedules = distinct_schedules(problem, 4, seed=13)
+        with ParallelEvaluator(chunk_size=2) as pool:
+            results = pool.evaluate_schedules(problem, [s.genes for s in schedules])
+        assert results == [evaluate(s) for s in schedules]
+        assert pool.effective_mode in ("process", "thread")
+
+    def test_empty_population(self, problem):
+        assert ParallelEvaluator(mode="serial").evaluate_schedules(problem, []) == []
+
+
+class TestEvaluatePopulation:
+    def test_parallel_population_matches_serial(self, problem):
+        schedules = distinct_schedules(problem, 8, seed=14)
+        serial = BudgetedEvaluator(20)
+        serial_scores = serial.evaluate_population(schedules)
+        with ParallelEvaluator(mode="thread", chunk_size=3) as pool:
+            parallel = BudgetedEvaluator(
+                20, options=EvaluatorOptions(parallel=pool)
+            )
+            parallel_scores = parallel.evaluate_population(schedules)
+        assert parallel_scores == serial_scores
+        assert parallel.used == serial.used
+        assert parallel.history == serial.history
+        assert parallel.best_evaluation == serial.best_evaluation
+
+    def test_budget_padding_matches_serial(self, problem):
+        schedules = distinct_schedules(problem, 8, seed=15)
+        serial = BudgetedEvaluator(5)
+        serial_scores = serial.evaluate_population(schedules)
+        with ParallelEvaluator(mode="thread") as pool:
+            parallel = BudgetedEvaluator(5, options=EvaluatorOptions(parallel=pool))
+            parallel_scores = parallel.evaluate_population(schedules)
+        assert parallel_scores == serial_scores
+        assert parallel_scores[-1] == ScheduleEvaluation.worst()
+        assert serial.used == parallel.used == 5
+
+    def test_duplicate_schedules_hit_cache_in_parallel(self, problem):
+        schedule = random_schedule(problem, SeededRng(16))
+        population = [schedule, schedule.copy(), schedule.copy()]
+        with ParallelEvaluator(mode="thread") as pool:
+            evaluator = BudgetedEvaluator(10, options=EvaluatorOptions(parallel=pool))
+            scores = evaluator.evaluate_population(population)
+        assert scores[0] == scores[1] == scores[2]
+        assert evaluator.used == 1
+        assert evaluator.stats.cache_hits == 2
+
+
+class TestAlgorithmsUnderOptions:
+    @pytest.mark.parametrize(
+        "algorithm",
+        [
+            GeneticAlgorithm(population_size=12),
+            LocalSearch(),
+            SimulatedAnnealing(),
+            RandomSampling(),
+        ],
+        ids=["ga", "ls", "sa", "random"],
+    )
+    def test_deterministic_per_options(self, problem, algorithm):
+        kwargs = dict(budget=150, seed=5)
+        first = algorithm.optimize(problem, **kwargs)
+        second = algorithm.optimize(problem, **kwargs)
+        assert first.fitness == second.fitness
+        assert first.best_schedule.key() == second.best_schedule.key()
+        seeded = algorithm.optimize(problem, options=SEED_OPTIONS, **kwargs)
+        seeded2 = algorithm.optimize(problem, options=SEED_OPTIONS, **kwargs)
+        assert seeded.fitness == seeded2.fitness
+        assert seeded.best_schedule.key() == seeded2.best_schedule.key()
+
+    def test_ga_parallel_matches_ga_serial(self, problem):
+        ga = GeneticAlgorithm(population_size=12)
+        serial = ga.optimize(problem, budget=150, seed=3)
+        with ParallelEvaluator(mode="thread", chunk_size=4) as pool:
+            parallel = ga.optimize(
+                problem,
+                budget=150,
+                seed=3,
+                options=EvaluatorOptions(parallel=pool),
+            )
+        assert parallel.fitness == serial.fitness
+        assert parallel.best_schedule.key() == serial.best_schedule.key()
+        assert parallel.best_evaluation == serial.best_evaluation
+
+    def test_foreign_problem_bypasses_fast_path(self, problem):
+        other = SchedulingProblem(
+            problem.profile,
+            [ExperimentSpec(name="solo", required_samples=500.0)],
+        )
+        evaluator = BudgetedEvaluator(10)
+        evaluator.evaluate(random_schedule(problem, SeededRng(17)))
+        foreign = random_schedule(other, SeededRng(18))
+        got = evaluator.evaluate(foreign)
+        assert got == evaluate(foreign)
+        assert evaluator.used == 2
