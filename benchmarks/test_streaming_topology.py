@@ -1,0 +1,193 @@
+"""P4 — Live health: streaming topology updates vs. batch rebuilds.
+
+The batch pipeline answers "how healthy is the rollout right now" by
+rebuilding the interaction graph from every collected trace and diffing
+it against the baseline from scratch.  The streaming pipeline folds each
+completed trace into the live graph incrementally and refreshes the diff
+through pinned baseline indexes.  Both produce identical graphs and
+identical diffs over the same trace stream — this bench measures the
+cost gap at a 2k-endpoint topology and asserts the streaming path is at
+least 5× faster end to end.
+
+``STREAMING_SMOKE=1`` switches to a reduced configuration for CI: the
+exactness assertions stay, the timing assertion is skipped (shared
+runners make wall-clock ratios meaningless).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import time
+
+from _util import OUTPUT_DIR, emit, format_rows
+
+from repro.topology.builder import build_interaction_graph
+from repro.topology.diff import diff_graphs
+from repro.topology.streaming import (
+    LiveTopologyDiff,
+    StreamingGraphBuilder,
+    graphs_equal,
+)
+from repro.tracing.span import Span
+from repro.tracing.trace import Trace
+
+SMOKE = os.environ.get("STREAMING_SMOKE") == "1"
+SERVICES = 20 if SMOKE else 100
+ENDPOINTS_PER_SERVICE = 20          # SERVICES * 20 endpoints total
+BASELINE_TRACES = 60 if SMOKE else 300
+STREAM_TRACES = 40 if SMOKE else 320
+SPANS_PER_TRACE = 15
+PUBLISH_EVERY = 10                  # diff refresh cadence (traces)
+MIN_SPEEDUP = 5.0
+
+
+def endpoint_pool() -> list[tuple[str, str]]:
+    return [
+        (f"svc{s:03d}", f"ep{e:02d}")
+        for s in range(SERVICES)
+        for e in range(ENDPOINTS_PER_SERVICE)
+    ]
+
+
+def make_trace(
+    trace_id: str,
+    rng: random.Random,
+    pool: list[tuple[str, str]],
+    start: float,
+    version: str = "1.0.0",
+    first: tuple[str, str] | None = None,
+) -> Trace:
+    """A random tree trace whose spans draw node keys from *pool*."""
+    spans = [
+        Span(
+            span_id=f"{trace_id}-s0",
+            trace_id=trace_id,
+            parent_id=None,
+            service="gateway",
+            version="1.0.0",
+            endpoint="entry",
+            start=start,
+            duration_ms=rng.uniform(1.0, 5.0),
+        )
+    ]
+    for i in range(1, SPANS_PER_TRACE):
+        service, endpoint = (
+            first if first is not None and i == 1 else rng.choice(pool)
+        )
+        spans.append(
+            Span(
+                span_id=f"{trace_id}-s{i}",
+                trace_id=trace_id,
+                parent_id=f"{trace_id}-s{rng.randint(0, i - 1)}",
+                service=service,
+                version=version,
+                endpoint=endpoint,
+                start=start + i * 0.001,
+                duration_ms=rng.uniform(1.0, 40.0),
+                error=rng.random() < 0.02,
+            )
+        )
+    return Trace(trace_id, spans)
+
+
+def build_corpus():
+    pool = endpoint_pool()
+    rng = random.Random(7)
+    # Baseline covers every endpoint at least once (cycled through the
+    # `first` slot), so the pinned graph really has 2k endpoints.
+    baseline_traces = [
+        make_trace(
+            f"b{i}", rng, pool, start=float(i), first=pool[i % len(pool)]
+        )
+        for i in range(max(BASELINE_TRACES, len(pool) // (SPANS_PER_TRACE - 1)))
+    ]
+    stream = [
+        make_trace(
+            f"x{i}",
+            rng,
+            pool,
+            start=1000.0 + i,
+            version="2.0.0" if i % 3 == 0 else "1.0.0",
+        )
+        for i in range(STREAM_TRACES)
+    ]
+    baseline = build_interaction_graph(baseline_traces, name="baseline")
+    return baseline, stream
+
+
+def run_comparison():
+    baseline, stream = build_corpus()
+
+    def streaming_pipeline():
+        builder = StreamingGraphBuilder()
+        live = LiveTopologyDiff(baseline, builder)
+        for i, trace in enumerate(stream):
+            builder.on_trace(trace)
+            if (i + 1) % PUBLISH_EVERY == 0:
+                live.current()
+        return builder.graph, live.current()
+
+    def batch_pipeline():
+        seen = []
+        graph = None
+        diff = None
+        for i, trace in enumerate(stream):
+            seen.append(trace)
+            graph = build_interaction_graph(seen, name="rebuilt")
+            if (i + 1) % PUBLISH_EVERY == 0:
+                diff = diff_graphs(baseline, graph)
+        return graph, diff_graphs(baseline, graph) if diff is None else diff
+
+    t0 = time.perf_counter()
+    stream_graph, stream_diff = streaming_pipeline()
+    t_stream = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    batch_graph, batch_diff = batch_pipeline()
+    t_batch = time.perf_counter() - t0
+
+    # Exactness: same graph, same diff, regardless of which path ran.
+    assert graphs_equal(stream_graph, batch_graph), (
+        "streaming graph diverged from batch rebuild"
+    )
+    assert [c.identity for c in stream_diff.changes] == [
+        c.identity for c in batch_diff.changes
+    ], "live diff diverged from batch diff"
+
+    return {
+        "endpoints": SERVICES * ENDPOINTS_PER_SERVICE,
+        "baseline_nodes": baseline.node_count,
+        "stream_traces": len(stream),
+        "publish_every": PUBLISH_EVERY,
+        "stream_wall_s": t_stream,
+        "batch_wall_s": t_batch,
+        "speedup": t_batch / t_stream,
+        "changes_detected": len(stream_diff.changes),
+        "smoke": SMOKE,
+    }
+
+
+def test_streaming_vs_rebuild(benchmark):
+    report = benchmark.pedantic(run_comparison, rounds=1, iterations=1)
+    rows = [
+        {"metric": "endpoints", "value": report["endpoints"]},
+        {"metric": "stream traces", "value": report["stream_traces"]},
+        {"metric": "streaming wall s", "value": report["stream_wall_s"]},
+        {"metric": "batch rebuild wall s", "value": report["batch_wall_s"]},
+        {"metric": "speedup", "value": report["speedup"]},
+        {"metric": "changes detected", "value": report["changes_detected"]},
+    ]
+    emit("Streaming topology vs batch rebuild", format_rows(rows))
+    os.makedirs(OUTPUT_DIR, exist_ok=True)
+    with open(
+        os.path.join(OUTPUT_DIR, "BENCH_streaming_topology.json"), "w"
+    ) as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+
+    assert report["changes_detected"] > 0
+    if not SMOKE:
+        assert report["speedup"] >= MIN_SPEEDUP, (
+            f"streaming speedup {report['speedup']:.2f}x below {MIN_SPEEDUP}x"
+        )

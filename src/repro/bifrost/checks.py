@@ -41,7 +41,15 @@ class CheckEvaluator:
         self.store = store
 
     def evaluate(self, check: Check, now: float) -> CheckResult:
-        """Evaluate *check* on the window ``[now - window, now)``."""
+        """Evaluate *check* on the half-open window ``[now - window, now)``.
+
+        Health checks (``kind="health"``) need no special handling here:
+        construction normalized them to threshold checks over the
+        ``health.score`` stream the live topology pipeline publishes
+        (:class:`~repro.topology.streaming.LiveHealthMonitor`), so they
+        share the windowing, inconclusive, and comparison semantics of
+        plain metric checks.
+        """
         start = now - check.window_seconds
         observed = self.store.aggregate(
             check.service,

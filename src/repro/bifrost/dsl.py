@@ -51,7 +51,7 @@ _PHASE_SCALARS = {
 }
 _CHECK_SCALARS = {
     "metric", "aggregation", "operator", "threshold", "baseline",
-    "tolerance", "window", "interval",
+    "tolerance", "window", "interval", "kind", "service",
 }
 
 
@@ -142,14 +142,21 @@ def parse_strategy(text: str) -> Strategy:
         assert check_name is not None and phase_fields is not None
         threshold = check_fields.get("threshold")
         baseline = check_fields.get("baseline")
+        kind = check_fields.get("kind", "metric")
+        # Health checks gate on the live health score (>= threshold by
+        # default) and may target another service than the phase's —
+        # e.g. the "topology" pseudo-service for the overall score.
+        default_operator = ">=" if kind == "health" else "<="
         checks.append(
             Check(
                 name=check_name,
-                service=phase_fields.get("service", ""),
+                service=check_fields.get("service")
+                or phase_fields.get("service", ""),
                 version=phase_fields.get("experimental", ""),
                 metric=check_fields.get("metric", "response_time"),
                 aggregation=check_fields.get("aggregation", "mean"),
-                operator=check_fields.get("operator", "<="),
+                operator=check_fields.get("operator", default_operator),
+                kind=kind,
                 threshold=float(threshold) if threshold is not None else None,
                 baseline_version=baseline,
                 tolerance=float(check_fields.get("tolerance", "1.0")),
@@ -296,7 +303,12 @@ def strategy_to_dsl(strategy: Strategy) -> str:
             )
         for check in phase.checks:
             out.append(f"    check {check.name}")
-            out.append(f"      metric {check.metric}")
+            if check.kind != "metric":
+                out.append(f"      kind {check.kind}")
+            if check.service != phase.service:
+                out.append(f"      service {check.service}")
+            if check.kind == "metric":
+                out.append(f"      metric {check.metric}")
             out.append(f"      aggregation {check.aggregation}")
             out.append(f"      operator {check.operator}")
             if check.threshold is not None:

@@ -31,6 +31,7 @@ from repro.errors import ExecutionError
 from repro.bifrost.checks import CheckEvaluator, CheckResult
 from repro.bifrost.model import (
     Check,
+    HEALTH_CHECK_KIND,
     REPEAT,
     TERMINAL_ABORT,
     TERMINAL_COMPLETE,
@@ -504,14 +505,17 @@ class BifrostEngine:
         When an earlier A/B phase picked a winner, later phases route the
         winner — checks written against the phase's declared experimental
         version must follow it or they would evaluate a version that no
-        longer serves traffic.
+        longer serves traffic.  Health checks are exempt: they read the
+        topology pipeline's ``live`` pseudo-version, which describes the
+        whole serving mixture rather than one deployment.
         """
         effective = self._experimental_version(execution, phase)
         if effective == phase.experimental_version:
             return phase.checks
         return tuple(
             replace(check, version=effective)
-            if check.version == phase.experimental_version
+            if check.kind != HEALTH_CHECK_KIND
+            and check.version == phase.experimental_version
             else check
             for check in phase.checks
         )

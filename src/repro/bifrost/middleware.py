@@ -10,7 +10,7 @@ simulated clock.
 
 from __future__ import annotations
 
-from typing import Iterable
+from typing import TYPE_CHECKING, Iterable
 
 from repro.errors import ConfigurationError
 from repro.bifrost.dsl import parse_strategy
@@ -27,6 +27,14 @@ from repro.simulation.clock import SimulationClock
 from repro.simulation.engine import SimulationEngine
 from repro.toggles.store import ToggleStore
 from repro.traffic.workload import Request
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.topology.graph import InteractionGraph
+    from repro.topology.streaming import (
+        HealthScorer,
+        LiveHealthMonitor,
+        StreamingGraphBuilder,
+    )
 
 
 class Bifrost:
@@ -102,6 +110,8 @@ class Bifrost:
                 toggles=toggles,
             )
         self.outcomes: list[RequestOutcome] = []
+        self.live_health: "LiveHealthMonitor | None" = None
+        self.streaming_builder: "StreamingGraphBuilder | None" = None
 
     @property
     def engine(self) -> BifrostEngine:
@@ -143,6 +153,54 @@ class Bifrost:
                 "(Bifrost(durable=True)) or an explicit crash target"
             )
         return campaign.install(self.simulation)
+
+    def enable_live_health(
+        self,
+        baseline: "InteractionGraph | None" = None,
+        window_seconds: float | None = 60.0,
+        window_capacity: int = 8,
+        publish_interval: float = 5.0,
+        include_shadow: bool = True,
+        scorer: "HealthScorer | None" = None,
+    ) -> "LiveHealthMonitor":
+        """Attach the streaming topology pipeline to this middleware.
+
+        A :class:`~repro.topology.streaming.StreamingGraphBuilder`
+        subscribes to the runtime's trace collector, a
+        :class:`~repro.topology.streaming.LiveHealthMonitor` publishes
+        ``health.score`` metrics into the shared store — which is where
+        ``kind health`` checks of submitted strategies read them, closing
+        the Ch. 4 ↔ Ch. 5 loop.
+
+        Without an explicit *baseline* graph, the traces collected so
+        far (e.g. a pre-experiment warmup run) are batch-built into one.
+        Call before submitting strategies that carry health checks.
+        """
+        from repro.topology.builder import build_interaction_graph
+        from repro.topology.streaming import (
+            LiveHealthMonitor,
+            StreamingGraphBuilder,
+        )
+
+        if baseline is None:
+            baseline = build_interaction_graph(
+                self.collector.traces(), name="baseline"
+            )
+        builder = StreamingGraphBuilder(
+            include_shadow=include_shadow,
+            window_seconds=window_seconds,
+            window_capacity=window_capacity,
+        ).attach(self.collector)
+        monitor = LiveHealthMonitor(
+            builder,
+            baseline,
+            self.store,
+            publish_interval=publish_interval,
+            scorer=scorer,
+        )
+        self.streaming_builder = builder
+        self.live_health = monitor
+        return monitor
 
     def submit(self, strategy: Strategy | str, at: float | None = None) -> StrategyExecution:
         """Submit a strategy object or DSL text for execution."""

@@ -53,19 +53,31 @@ class Action(enum.Enum):
 
 _OPERATORS = {"<", "<=", ">", ">="}
 
+#: Check kinds: plain metric checks and topology-health checks.
+METRIC_CHECK_KIND = "metric"
+HEALTH_CHECK_KIND = "health"
+_CHECK_KINDS = frozenset({METRIC_CHECK_KIND, HEALTH_CHECK_KIND})
+
 
 @dataclass(frozen=True)
 class Check:
     """A health criterion evaluated periodically during a phase.
 
-    Two kinds exist:
+    Three flavors exist:
 
     - **threshold** checks compare a windowed aggregate against an
       absolute threshold (``mean response_time of v2 <= 150 ms``),
     - **relative** checks compare the experimental version against a
       baseline version of the same service with a tolerance factor
       (``mean response_time of v2 <= 1.2 * mean response_time of v1``) —
-      the "apples to apples comparison" practitioners described.
+      the "apples to apples comparison" practitioners described,
+    - **health** checks (``kind="health"``) gate on the streaming
+      topology pipeline's live health score
+      (:mod:`repro.topology.streaming`): the service's ``health.score``
+      under the ``live`` pseudo-version must satisfy the threshold.
+      Version and metric are normalized to those canonical values at
+      construction, so a health check is a threshold check over the
+      ``health.*`` stream and evaluates through the same machinery.
 
     Attributes:
         name: check identifier within the phase.
@@ -82,6 +94,7 @@ class Check:
         interval_seconds: per-check evaluation interval (Fig 4.3's
             time-based execution of multiple checks); None inherits the
             phase's interval.
+        kind: ``"metric"`` (default) or ``"health"``.
     """
 
     name: str
@@ -95,12 +108,35 @@ class Check:
     tolerance: float = 1.0
     window_seconds: float = 30.0
     interval_seconds: float | None = None
+    kind: str = METRIC_CHECK_KIND
 
     def __post_init__(self) -> None:
+        if self.kind not in _CHECK_KINDS:
+            raise ConfigurationError(
+                f"check {self.name!r}: kind must be one of {sorted(_CHECK_KINDS)}"
+            )
         if self.operator not in _OPERATORS:
             raise ConfigurationError(
                 f"check {self.name!r}: operator must be one of {_OPERATORS}"
             )
+        if self.kind == HEALTH_CHECK_KIND:
+            if self.baseline_version is not None:
+                raise ConfigurationError(
+                    f"check {self.name!r}: health checks take a threshold, "
+                    "not a baseline_version"
+                )
+            if self.threshold is None:
+                raise ConfigurationError(
+                    f"check {self.name!r}: health checks need a threshold"
+                )
+            # Health lives at a canonical address in the metric store:
+            # (service, HEALTH_VERSION, HEALTH_METRIC).  Normalizing here
+            # means DSL/journal round trips and the evaluator never have
+            # to special-case where to look.
+            from repro.topology.streaming import HEALTH_METRIC, HEALTH_VERSION
+
+            object.__setattr__(self, "version", HEALTH_VERSION)
+            object.__setattr__(self, "metric", HEALTH_METRIC)
         if (self.threshold is None) == (self.baseline_version is None):
             raise ConfigurationError(
                 f"check {self.name!r}: set exactly one of threshold / "
@@ -312,6 +348,7 @@ def check_to_dict(check: Check) -> dict:
         "tolerance": check.tolerance,
         "window_seconds": check.window_seconds,
         "interval_seconds": check.interval_seconds,
+        "kind": check.kind,
     }
 
 
@@ -330,6 +367,7 @@ def check_from_dict(data: Mapping) -> Check:
             tolerance=data["tolerance"],
             window_seconds=data["window_seconds"],
             interval_seconds=data["interval_seconds"],
+            kind=data.get("kind", METRIC_CHECK_KIND),
         )
     except (KeyError, TypeError) as exc:
         raise ValidationError(f"malformed check document: {exc}") from exc

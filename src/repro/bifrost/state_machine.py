@@ -116,10 +116,25 @@ class StateMachine:
         )
 
     def to_dot(self) -> str:
-        """Graphviz rendering of the machine (cf. Fig 4.2)."""
+        """Graphviz rendering of the machine (cf. Fig 4.2).
+
+        Phases gated by a topology-health check are badged with a ♥ so
+        the closed execution↔analysis loop is visible in the diagram.
+        """
+        health_gated = {
+            phase.name
+            for phase in self.strategy.phases
+            if any(check.kind == "health" for check in phase.checks)
+        }
         lines = [f'digraph "{self.strategy.name}" {{']
         for state in self._states.values():
             shape = "doublecircle" if state.terminal else "box"
+            if state.name in health_gated:
+                lines.append(
+                    f'  "{state.name}" [shape={shape}, '
+                    f'label="{state.name}\\n[health-gated]"];'
+                )
+                continue
             lines.append(f'  "{state.name}" [shape={shape}];')
         for transition in self._transitions:
             lines.append(

@@ -62,7 +62,14 @@ class TimeSeries:
         return list(self._values)
 
     def window(self, start: float, end: float) -> list[float]:
-        """Values with ``start <= timestamp < end``."""
+        """Values in the **half-open** window ``start <= timestamp < end``.
+
+        The start boundary is included, the end boundary excluded — so
+        adjacent windows ``[a, b)`` and ``[b, c)`` partition the series
+        without double-counting a sample that lands exactly on ``b``.
+        Every windowed consumer (``last``, :class:`MetricStore`
+        aggregation, Bifrost check evaluation) inherits this convention.
+        """
         if end < start:
             raise StatisticsError(f"window end {end} precedes start {start}")
         lo = bisect.bisect_left(self._times, start)
@@ -70,7 +77,11 @@ class TimeSeries:
         return self._values[lo:hi]
 
     def last(self, duration: float, now: float) -> list[float]:
-        """Values within the trailing *duration* before *now*."""
+        """Values in the trailing half-open window ``[now - duration, now)``.
+
+        A sample stamped exactly *now* is **excluded** (it belongs to the
+        next window); one stamped exactly ``now - duration`` is included.
+        """
         return self.window(now - duration, now)
 
     def resample(self, bucket_width: float) -> list[tuple[float, float]]:

@@ -82,7 +82,12 @@ class MetricStore:
         start: float,
         end: float,
     ) -> list[float]:
-        """All sample values with start <= t < end."""
+        """All sample values in the **half-open** window ``start <= t < end``.
+
+        Samples on the start boundary are included, samples on the end
+        boundary excluded (see :meth:`TimeSeries.window`) — adjacent
+        windows therefore never double-count a boundary sample.
+        """
         return self.series(service, version, metric).window(start, end)
 
     def aggregate(

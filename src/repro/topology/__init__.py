@@ -10,7 +10,11 @@ families: subtree complexity, response-time analysis, and a hybrid.
 """
 
 from repro.topology.graph import EdgeStats, InteractionGraph, NodeKey, NodeStats
-from repro.topology.builder import build_interaction_graph
+from repro.topology.builder import (
+    Observation,
+    build_interaction_graph,
+    trace_observations,
+)
 from repro.topology.change_types import Change, ChangeType
 from repro.topology.diff import DiffEntry, DiffStatus, TopologyDiff, diff_graphs
 from repro.topology.uncertainty import UncertaintyModel
@@ -24,8 +28,23 @@ from repro.topology.heuristics import (
 )
 from repro.topology.ranking import RankedChange, evaluate_ranking, rank_changes
 from repro.topology.generator import mutate_graph, random_interaction_graph
-from repro.topology.visualize import diff_report, diff_to_dot
+from repro.topology.visualize import diff_report, diff_to_dot, topology_health_panel
 from repro.topology.aggregate import aggregate_to_service_level
+from repro.topology.streaming import (
+    HEALTH_METRIC,
+    HEALTH_VERSION,
+    OVERALL_SERVICE,
+    GraphWindowRing,
+    HealthReport,
+    HealthScorer,
+    HealthWeights,
+    LiveHealthMonitor,
+    LiveTopologyDiff,
+    StreamingGraphBuilder,
+    copy_graph,
+    graphs_equal,
+    merge_graph_into,
+)
 
 __all__ = [
     "EdgeStats",
@@ -53,5 +72,21 @@ __all__ = [
     "random_interaction_graph",
     "diff_report",
     "diff_to_dot",
+    "topology_health_panel",
     "aggregate_to_service_level",
+    "Observation",
+    "trace_observations",
+    "HEALTH_METRIC",
+    "HEALTH_VERSION",
+    "OVERALL_SERVICE",
+    "GraphWindowRing",
+    "HealthReport",
+    "HealthScorer",
+    "HealthWeights",
+    "LiveHealthMonitor",
+    "LiveTopologyDiff",
+    "StreamingGraphBuilder",
+    "copy_graph",
+    "graphs_equal",
+    "merge_graph_into",
 ]

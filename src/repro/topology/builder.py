@@ -4,14 +4,50 @@ Equivalent to the paper's extraction from Jaeger/Zipkin: every span
 becomes (or updates) a node, every parent→child span pair an edge.
 Shadow (dark-launched) spans are included by default — dark launches are
 exactly the situations where the experimental topology diverges.
+
+:func:`trace_observations` is the single source of truth for how a trace
+translates into graph observations; the batch builder below and the
+streaming builder (:mod:`repro.topology.streaming`) both consume it, so
+the two are identical by construction.
 """
 
 from __future__ import annotations
 
-from typing import Iterable
+from typing import Iterable, NamedTuple
 
-from repro.topology.graph import InteractionGraph
+from repro.topology.graph import InteractionGraph, NodeKey
 from repro.tracing.trace import Trace
+
+
+class Observation(NamedTuple):
+    """One span's contribution to an interaction graph."""
+
+    caller: NodeKey | None
+    callee: NodeKey
+    duration_ms: float
+    error: bool
+    start: float
+
+
+def trace_observations(
+    trace: Trace, include_shadow: bool = True
+) -> list[Observation]:
+    """Extract *trace*'s graph observations in depth-first walk order."""
+    out: list[Observation] = []
+    for span, parent in trace.walk():
+        if not include_shadow and span.tags.get("shadow") == "true":
+            continue
+        caller = NodeKey(*parent.node_key) if parent is not None else None
+        out.append(
+            Observation(
+                caller,
+                NodeKey(*span.node_key),
+                span.duration_ms,
+                span.error,
+                span.start,
+            )
+        )
+    return out
 
 
 def build_interaction_graph(
@@ -30,13 +66,6 @@ def build_interaction_graph(
     """
     graph = InteractionGraph(name)
     for trace in traces:
-        for span, parent in trace.walk():
-            if not include_shadow and span.tags.get("shadow") == "true":
-                continue
-            caller = parent.node_key if parent is not None else None
-            from repro.topology.graph import NodeKey
-
-            callee = NodeKey(*span.node_key)
-            caller_key = NodeKey(*caller) if caller is not None else None
-            graph.observe_call(caller_key, callee, span.duration_ms, span.error)
+        for obs in trace_observations(trace, include_shadow):
+            graph.observe_call(obs.caller, obs.callee, obs.duration_ms, obs.error)
     return graph

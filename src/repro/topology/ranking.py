@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Mapping
 
-from repro.stats.ranking import ndcg
+from repro.stats.ranking import dcg, idcg
 from repro.topology.change_types import Change
 from repro.topology.diff import TopologyDiff
 from repro.topology.heuristics.base import RankingHeuristic
@@ -57,11 +57,24 @@ def evaluate_ranking(
     """nDCG@k of *ranking* against ground-truth *relevance* grades.
 
     Changes without a ground-truth entry count as irrelevant (grade 0).
+    The ideal DCG is computed over the *full* ground truth — the union
+    of the ranked changes' grades and the grades of relevant changes the
+    diff never identified — so missing a relevant change lowers the
+    score instead of silently shrinking the ideal.
     """
     grades = [
         float(relevance.get(ranked.change.identity, 0.0)) for ranked in ranking
     ]
-    return ndcg(grades, k)
+    ranked_identities = {ranked.change.identity for ranked in ranking}
+    missed = [
+        float(grade)
+        for identity, grade in relevance.items()
+        if identity not in ranked_identities
+    ]
+    ideal = idcg(grades + missed, k)
+    if ideal == 0.0:
+        return 1.0
+    return dcg(grades, k) / ideal
 
 
 def ranking_table(ranking: list[RankedChange], limit: int = 10) -> str:

@@ -1,0 +1,560 @@
+"""Streaming topology pipeline: live graphs, diffs, and health scores.
+
+Chapter 5's health assessment is framed in the paper as *analysis of
+running experiments*, yet the batch pipeline (collect → rebuild → diff →
+rank) only answers after the fact.  This module turns it into a
+streaming observability layer:
+
+* :class:`StreamingGraphBuilder` subscribes to a
+  :class:`~repro.tracing.collector.TraceCollector` and folds every
+  completed trace into an :class:`InteractionGraph` incrementally.  It
+  consumes the same :func:`~repro.topology.builder.trace_observations`
+  extractor as the batch builder, so its cumulative graph is identical
+  to ``build_interaction_graph`` over the same traces *by construction*
+  (see ``docs/STREAMING_HEALTH.md`` for the argument, and the property
+  test that pins it).
+* :class:`GraphWindowRing` keeps a bounded ring of per-window graphs on
+  the simulation clock plus an incrementally maintained merge, giving
+  the diff a recency view instead of an ever-growing cumulative one.
+* :class:`LiveTopologyDiff` pins a baseline graph, precomputes its diff
+  indexes once, and refreshes a :class:`TopologyDiff` lazily (guarded by
+  the builder's version counter) through the same
+  :func:`~repro.topology.diff.diff_from_indexes` core that
+  ``diff_graphs`` delegates to.
+* :class:`HealthScorer` / :class:`LiveHealthMonitor` derive per-service
+  and overall health in [0, 1] from error-rate deltas, response-time
+  ratios, and the ranking heuristics' suspicion scores, publishing them
+  through :mod:`repro.telemetry` as ``health.*`` metrics that Bifrost
+  ``health`` checks gate on.
+"""
+
+from __future__ import annotations
+
+from collections import Counter as Multiset
+from collections import OrderedDict
+from math import isclose
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable
+
+from repro.errors import ValidationError
+from repro.topology.builder import Observation, trace_observations
+from repro.topology.diff import (
+    TopologyDiff,
+    diff_from_indexes,
+    edges_by_service_endpoint,
+    versions_by_service_endpoint,
+)
+from repro.topology.graph import InteractionGraph
+from repro.topology.heuristics.base import RankingHeuristic, normalized
+from repro.topology.heuristics.hybrid import HybridHeuristic
+from repro.tracing.trace import Trace
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.telemetry.store import MetricStore
+    from repro.tracing.collector import TraceCollector
+
+#: Pseudo-version under which live health metrics are recorded.  Health
+#: describes the *current mixture* of versions serving traffic, not one
+#: deployment, so it gets its own version label in the metric store.
+HEALTH_VERSION = "live"
+
+#: Metric name health checks read (per service, and for the overall
+#: score under :data:`OVERALL_SERVICE`).
+HEALTH_METRIC = "health.score"
+
+#: Pseudo-service carrying the application-wide (minimum) health score.
+OVERALL_SERVICE = "topology"
+
+
+# ---------------------------------------------------------------------------
+# graph helpers
+# ---------------------------------------------------------------------------
+
+
+def merge_graph_into(target: InteractionGraph, source: InteractionGraph) -> None:
+    """Fold *source*'s nodes, edges, and aggregate stats into *target*."""
+    for key in source.nodes:
+        stats = source.node_stats(key)
+        into = target.add_node(key)
+        into.calls += stats.calls
+        into.errors += stats.errors
+        into.total_response_ms += stats.total_response_ms
+    for caller, callee, stats in source.edges():
+        into = target.add_edge(caller, callee)
+        into.calls += stats.calls
+        into.errors += stats.errors
+        into.total_response_ms += stats.total_response_ms
+
+
+def copy_graph(graph: InteractionGraph, name: str | None = None) -> InteractionGraph:
+    """An independent copy of *graph* (stats records are not shared)."""
+    out = InteractionGraph(name or graph.name)
+    merge_graph_into(out, graph)
+    return out
+
+
+def _stats_equal(sa, sb, rel_tol: float) -> bool:
+    return (
+        sa.calls == sb.calls
+        and sa.errors == sb.errors
+        and isclose(
+            sa.total_response_ms,
+            sb.total_response_ms,
+            rel_tol=rel_tol,
+            abs_tol=1e-9,
+        )
+    )
+
+
+def graphs_equal(
+    a: InteractionGraph, b: InteractionGraph, rel_tol: float = 1e-9
+) -> bool:
+    """Structural + statistical equality, independent of insertion order.
+
+    Compares node sets, edge sets, and every node's / edge's call count,
+    error count, and total response time — the full observable state the
+    heuristics consume.  Call and error counts must match exactly;
+    response-time totals are compared with *rel_tol* because streaming
+    and batch builders accumulate the same float terms in different
+    orders, and float addition is not associative.
+    """
+    if set(a.nodes) != set(b.nodes):
+        return False
+    for key in a.nodes:
+        if not _stats_equal(a.node_stats(key), b.node_stats(key), rel_tol):
+            return False
+    edges_a = {(c, e): s for c, e, s in a.edges()}
+    edges_b = {(c, e): s for c, e, s in b.edges()}
+    if set(edges_a) != set(edges_b):
+        return False
+    for key, sa in edges_a.items():
+        if not _stats_equal(sa, edges_b[key], rel_tol):
+            return False
+    return True
+
+
+# ---------------------------------------------------------------------------
+# windowed snapshots
+# ---------------------------------------------------------------------------
+
+
+class GraphWindowRing:
+    """A bounded ring of per-window interaction graphs on the sim clock.
+
+    Observations land in the window ``floor(start / window_seconds)``;
+    when more than *capacity* windows are live the oldest expires.  The
+    merge of all live windows is maintained incrementally and only
+    rebuilt after an expiry (stats cannot be subtracted).  Observations
+    for already-expired windows are dropped and counted — the streaming
+    analogue of a late span arriving for an evicted trace.
+    """
+
+    def __init__(self, window_seconds: float, capacity: int = 8) -> None:
+        if window_seconds <= 0:
+            raise ValidationError("window_seconds must be positive")
+        if capacity <= 0:
+            raise ValidationError("window capacity must be positive")
+        self.window_seconds = window_seconds
+        self.capacity = capacity
+        self._windows: OrderedDict[int, InteractionGraph] = OrderedDict()
+        self._merged = InteractionGraph("windows-merged")
+        self._merged_dirty = False
+        self._expired_through: int | None = None
+        self.late_observations_dropped = 0
+        self.expired_windows = 0
+
+    def index_of(self, timestamp: float) -> int:
+        """The window index a timestamp falls into."""
+        return int(timestamp // self.window_seconds)
+
+    def observe(self, obs: Observation) -> None:
+        """Fold one observation into its window (and the merge)."""
+        idx = self.index_of(obs.start)
+        if self._expired_through is not None and idx <= self._expired_through:
+            self.late_observations_dropped += 1
+            return
+        window = self._windows.get(idx)
+        if window is None:
+            window = InteractionGraph(f"window-{idx}")
+            self._windows[idx] = window
+        window.observe_call(obs.caller, obs.callee, obs.duration_ms, obs.error)
+        if not self._merged_dirty:
+            self._merged.observe_call(
+                obs.caller, obs.callee, obs.duration_ms, obs.error
+            )
+        while len(self._windows) > self.capacity:
+            self._expire(min(self._windows))
+
+    def _expire(self, idx: int) -> None:
+        del self._windows[idx]
+        self._expired_through = (
+            idx
+            if self._expired_through is None
+            else max(self._expired_through, idx)
+        )
+        self.expired_windows += 1
+        self._merged_dirty = True
+
+    @property
+    def window_indexes(self) -> list[int]:
+        """Live window indexes, ascending."""
+        return sorted(self._windows)
+
+    def window(self, idx: int) -> InteractionGraph | None:
+        """The graph of one live window (None if absent or expired)."""
+        return self._windows.get(idx)
+
+    def merged(self) -> InteractionGraph:
+        """The merge of all live windows (rebuilt only after expiry)."""
+        if self._merged_dirty:
+            self._merged = InteractionGraph("windows-merged")
+            for idx in sorted(self._windows):
+                merge_graph_into(self._merged, self._windows[idx])
+            self._merged_dirty = False
+        return self._merged
+
+
+# ---------------------------------------------------------------------------
+# streaming builder
+# ---------------------------------------------------------------------------
+
+
+class StreamingGraphBuilder:
+    """Maintains an interaction graph incrementally from a trace stream.
+
+    Attach to a collector with :meth:`attach`; every trace that becomes
+    assemblable is folded into :attr:`graph` by applying the *multiset
+    difference* between the trace's current observations and what was
+    already applied for that trace id.  Collectors re-notify when a
+    complete trace grows (late dark-launch duplicates), and because
+    graph statistics are commutative sums, applying only the difference
+    keeps the cumulative graph exactly equal to the batch builder's
+    output over the same traces.
+
+    An optional :class:`GraphWindowRing` additionally buckets the same
+    observations by span start time for recency-scoped diffing.
+    """
+
+    def __init__(
+        self,
+        name: str = "streaming",
+        include_shadow: bool = True,
+        window_seconds: float | None = None,
+        window_capacity: int = 8,
+    ) -> None:
+        self.graph = InteractionGraph(name)
+        self.include_shadow = include_shadow
+        self.windows = (
+            GraphWindowRing(window_seconds, window_capacity)
+            if window_seconds is not None
+            else None
+        )
+        self._applied: dict[str, Multiset[Observation]] = {}
+        self._version = 0
+        self._trace_count = 0
+        self._subscribers: list[Callable[[Trace, Multiset[Observation]], None]] = []
+
+    @property
+    def version(self) -> int:
+        """Monotonic mutation counter; bumps whenever the graph changes."""
+        return self._version
+
+    @property
+    def trace_count(self) -> int:
+        """Number of distinct traces folded in so far."""
+        return self._trace_count
+
+    def attach(self, collector: "TraceCollector") -> "StreamingGraphBuilder":
+        """Subscribe to *collector*'s completion and eviction streams."""
+        collector.subscribe(self.on_trace, self.on_evict)
+        return self
+
+    def subscribe(
+        self, on_update: Callable[[Trace, Multiset[Observation]], None]
+    ) -> None:
+        """Call *on_update* (trace, newly applied observations) per fold."""
+        self._subscribers.append(on_update)
+
+    def on_trace(self, trace: Trace) -> None:
+        """Fold one (possibly re-notified) complete trace into the graph."""
+        observations = Multiset(trace_observations(trace, self.include_shadow))
+        already = self._applied.get(trace.trace_id)
+        if already is None:
+            delta = observations
+            self._trace_count += 1
+        else:
+            delta = observations - already
+            if not delta:
+                return
+        self._applied[trace.trace_id] = observations
+        for obs, count in delta.items():
+            for _ in range(count):
+                self.graph.observe_call(
+                    obs.caller, obs.callee, obs.duration_ms, obs.error
+                )
+                if self.windows is not None:
+                    self.windows.observe(obs)
+        self._version += 1
+        for subscriber in self._subscribers:
+            subscriber(trace, delta)
+
+    def on_evict(self, trace_id: str) -> None:
+        """Drop per-trace bookkeeping once the collector evicted the trace.
+
+        The collector's tombstones guarantee no further spans of this
+        trace will be delivered, so the multiset can be released; the
+        already-applied observations stay in the graph (the stream of
+        completed traces includes it).
+        """
+        self._applied.pop(trace_id, None)
+
+
+# ---------------------------------------------------------------------------
+# incremental diff against a pinned baseline
+# ---------------------------------------------------------------------------
+
+
+class LiveTopologyDiff:
+    """A :class:`TopologyDiff` kept current against a pinned baseline.
+
+    The baseline graph and its diff indexes (version sets and edge
+    instances per (service, endpoint)) are computed once at pin time;
+    each refresh only re-derives the experimental side from the live
+    graph, through the same :func:`diff_from_indexes` core that
+    ``diff_graphs`` uses — so a live diff is bit-identical to a batch
+    diff of the same two graphs.  Refreshes are lazy, guarded by the
+    builder's version counter: arbitrarily many reads between trace
+    arrivals cost one diff.
+    """
+
+    def __init__(
+        self,
+        baseline: InteractionGraph,
+        builder: StreamingGraphBuilder,
+        use_windows: bool | None = None,
+    ) -> None:
+        """*use_windows* selects the live graph source: the window merge
+        (recency view) or the cumulative graph.  Defaults to windows
+        when the builder has a ring."""
+        self._baseline = baseline
+        self._base_nodes = versions_by_service_endpoint(baseline)
+        self._base_edges = edges_by_service_endpoint(baseline)
+        self._builder = builder
+        if use_windows is None:
+            use_windows = builder.windows is not None
+        if use_windows and builder.windows is None:
+            raise ValidationError(
+                "use_windows requires a builder with a window ring"
+            )
+        self._use_windows = use_windows
+        self._cached: TopologyDiff | None = None
+        self._cached_version = -1
+        self.refreshes = 0
+
+    @property
+    def baseline(self) -> InteractionGraph:
+        """The pinned baseline graph."""
+        return self._baseline
+
+    def _live_graph(self) -> InteractionGraph:
+        if self._use_windows:
+            assert self._builder.windows is not None
+            return self._builder.windows.merged()
+        return self._builder.graph
+
+    def current(self) -> TopologyDiff:
+        """The up-to-date diff (recomputed only if the graph changed)."""
+        version = self._builder.version
+        if self._cached is None or version != self._cached_version:
+            self._cached = diff_from_indexes(
+                self._baseline,
+                self._live_graph(),
+                self._base_nodes,
+                self._base_edges,
+            )
+            self._cached_version = version
+            self.refreshes += 1
+        return self._cached
+
+
+# ---------------------------------------------------------------------------
+# health scoring
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class HealthWeights:
+    """Component weights of the health score (must sum to <= 1)."""
+
+    error: float = 0.45
+    response_time: float = 0.35
+    suspicion: float = 0.20
+
+
+@dataclass(frozen=True)
+class HealthReport:
+    """Health scores derived from one diff refresh."""
+
+    services: dict[str, float] = field(default_factory=dict)
+    overall: float = 1.0
+    components: dict[str, dict[str, float]] = field(default_factory=dict)
+
+    def describe(self) -> str:
+        """One line per service plus the overall score."""
+        lines = [
+            f"  {service}: {score:.3f}"
+            for service, score in sorted(self.services.items())
+        ]
+        return "\n".join([f"overall health: {self.overall:.3f}"] + lines)
+
+
+#: An error-rate increase of this much (absolute) exhausts the error
+#: component; a response-time ratio of +100% exhausts the RT component.
+ERROR_FULL_SCALE = 0.5
+RT_FULL_SCALE = 1.0
+
+
+def _per_service(graph: InteractionGraph) -> dict[str, tuple[int, int, float]]:
+    """(calls, errors, total_response_ms) aggregated per service."""
+    out: dict[str, tuple[int, int, float]] = {}
+    for key in graph.nodes:
+        stats = graph.node_stats(key)
+        calls, errors, total = out.get(key.service, (0, 0, 0.0))
+        out[key.service] = (
+            calls + stats.calls,
+            errors + stats.errors,
+            total + stats.total_response_ms,
+        )
+    return out
+
+
+class HealthScorer:
+    """Derives per-service health in [0, 1] from a topology diff.
+
+    Three penalty components per service, each clipped to [0, 1]:
+
+    * **error**: the increase of the service's error rate over baseline,
+      scaled by :data:`ERROR_FULL_SCALE`;
+    * **response_time**: the relative mean-response-time degradation
+      over baseline, scaled by :data:`RT_FULL_SCALE`;
+    * **suspicion**: the service's strongest normalized heuristic score
+      among the diff's identified changes anchored at it, *scaled by the
+      observed severity* (the error + RT penalties).  Heuristic scores
+      are relative — some change always ranks first, even in a perfectly
+      healthy rollout — so they attribute blame when something misbehaves
+      rather than flat-penalizing every change.
+
+    ``health = 1 - clip(weighted penalty sum)``; the overall score is
+    the minimum across services (an experiment is as healthy as its
+    sickest service).
+    """
+
+    def __init__(
+        self,
+        weights: HealthWeights | None = None,
+        heuristic: RankingHeuristic | None = None,
+    ) -> None:
+        self.weights = weights or HealthWeights()
+        self.heuristic = heuristic or HybridHeuristic()
+
+    def report(self, diff: TopologyDiff) -> HealthReport:
+        """Score every service of the diff's experimental graph."""
+        base = _per_service(diff.baseline)
+        live = _per_service(diff.experimental)
+        suspicion_by_service: dict[str, float] = {}
+        if diff.changes:
+            for change, score in normalized(self.heuristic.scores(diff)).items():
+                service = change.anchor.service
+                suspicion_by_service[service] = max(
+                    suspicion_by_service.get(service, 0.0), score
+                )
+
+        services: dict[str, float] = {}
+        components: dict[str, dict[str, float]] = {}
+        for service, (calls, errors, total) in sorted(live.items()):
+            if calls == 0:
+                continue
+            error_rate = errors / calls
+            mean_rt = total / calls
+            b_calls, b_errors, b_total = base.get(service, (0, 0, 0.0))
+            base_error_rate = b_errors / b_calls if b_calls else 0.0
+            error_delta = max(0.0, error_rate - base_error_rate)
+            if b_calls and b_total > 0:
+                base_rt = b_total / b_calls
+                rt_ratio = max(0.0, (mean_rt - base_rt) / base_rt)
+            else:
+                rt_ratio = 0.0
+            error_penalty = min(1.0, error_delta / ERROR_FULL_SCALE)
+            rt_penalty = min(1.0, rt_ratio / RT_FULL_SCALE)
+            severity = min(1.0, error_penalty + rt_penalty)
+            suspicion = suspicion_by_service.get(service, 0.0) * severity
+            penalty = (
+                self.weights.error * error_penalty
+                + self.weights.response_time * rt_penalty
+                + self.weights.suspicion * suspicion
+            )
+            services[service] = max(0.0, 1.0 - min(1.0, penalty))
+            components[service] = {
+                "error_delta": error_delta,
+                "rt_ratio": rt_ratio,
+                "suspicion": suspicion,
+            }
+        overall = min(services.values()) if services else 1.0
+        return HealthReport(services=services, overall=overall, components=components)
+
+
+class LiveHealthMonitor:
+    """Publishes live health scores into a :class:`MetricStore`.
+
+    Subscribes to a :class:`StreamingGraphBuilder`; whenever a trace is
+    folded in and at least *publish_interval* simulated seconds passed
+    since the last publication, it refreshes the live diff, scores it,
+    and records ``health.score`` per service under version
+    :data:`HEALTH_VERSION` plus the overall score under service
+    :data:`OVERALL_SERVICE` — exactly where Bifrost ``health`` checks
+    look.
+    """
+
+    def __init__(
+        self,
+        builder: StreamingGraphBuilder,
+        baseline: InteractionGraph,
+        store: "MetricStore",
+        publish_interval: float = 5.0,
+        scorer: HealthScorer | None = None,
+        use_windows: bool | None = None,
+    ) -> None:
+        if publish_interval < 0:
+            raise ValidationError("publish_interval must be >= 0")
+        self.live = LiveTopologyDiff(baseline, builder, use_windows)
+        self.scorer = scorer or HealthScorer()
+        self._store = store
+        self._interval = publish_interval
+        self._last_publish: float | None = None
+        self.publishes = 0
+        self.last_report: HealthReport | None = None
+        builder.subscribe(self._on_update)
+
+    def _on_update(self, trace: Trace, _delta: Multiset[Observation]) -> None:
+        timestamp = trace.root.end
+        if (
+            self._last_publish is not None
+            and timestamp - self._last_publish < self._interval
+        ):
+            return
+        self.publish(timestamp)
+
+    def publish(self, timestamp: float) -> HealthReport:
+        """Force one score computation + publication at *timestamp*."""
+        report = self.scorer.report(self.live.current())
+        for service, score in sorted(report.services.items()):
+            self._store.record(
+                service, HEALTH_VERSION, HEALTH_METRIC, timestamp, score
+            )
+        self._store.record(
+            OVERALL_SERVICE, HEALTH_VERSION, HEALTH_METRIC, timestamp, report.overall
+        )
+        self._last_publish = timestamp
+        self.publishes += 1
+        self.last_report = report
+        return report

@@ -9,8 +9,13 @@ terminals and logs).
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.topology.diff import DiffStatus, TopologyDiff
 from repro.topology.ranking import RankedChange
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.topology.streaming import HealthReport
 
 _COLORS = {
     DiffStatus.ADDED: "palegreen",
@@ -80,4 +85,37 @@ def diff_report(
         lines.append("Top-ranked changes:")
         for ranked in ranking[:top]:
             lines.append(f"  {ranked.describe()}")
+    return "\n".join(lines)
+
+
+def _health_bar(score: float, width: int = 20) -> str:
+    filled = round(max(0.0, min(1.0, score)) * width)
+    return "#" * filled + "." * (width - filled)
+
+
+def topology_health_panel(
+    report: "HealthReport",
+    diff: TopologyDiff | None = None,
+    ranking: list[RankedChange] | None = None,
+    top: int = 5,
+) -> str:
+    """The live-dashboard view of the streaming health pipeline.
+
+    Renders per-service health bars from a
+    :class:`~repro.topology.streaming.HealthReport` (annotated with the
+    dominant penalty component per service), optionally followed by the
+    Fig 1.3 diff/ranking panel for the same refresh.
+    """
+    lines = [
+        f"Topology health (overall {report.overall:.3f}):",
+    ]
+    for service, score in sorted(report.services.items()):
+        parts = report.components.get(service, {})
+        worst = max(parts, key=parts.get) if parts and max(parts.values()) > 0 else None
+        note = f"  <- {worst}" if worst else ""
+        lines.append(f"  {service:<12} [{_health_bar(score)}] {score:.3f}{note}")
+    if not report.services:
+        lines.append("  (no live traffic observed yet)")
+    if diff is not None:
+        lines.append(diff_report(diff, ranking, top))
     return "\n".join(lines)

@@ -60,6 +60,15 @@ class TestExamples:
         assert "version_path identical to crash-free run: True" in out
         assert "baseline promoted the same version: True" in out
 
+    def test_streaming_health(self):
+        out = run_example("streaming_health.py")
+        assert "faulty rollout" in out
+        assert "strategy outcome: rolled_back" in out
+        assert "healthy rollout" in out
+        assert "strategy outcome: completed" in out
+        assert "Topology health" in out
+        assert "health publications:" in out
+
     def test_experiment_scheduling(self):
         out = run_example("experiment_scheduling.py", timeout=420.0)
         assert "algorithm comparison" in out

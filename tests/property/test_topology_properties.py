@@ -3,10 +3,14 @@
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.topology.builder import build_interaction_graph
 from repro.topology.diff import DiffStatus, diff_graphs
 from repro.topology.generator import mutate_graph, random_interaction_graph
 from repro.topology.heuristics import all_heuristic_variants
 from repro.topology.ranking import evaluate_ranking, rank_changes
+from repro.topology.streaming import LiveTopologyDiff, StreamingGraphBuilder, graphs_equal
+from repro.tracing.collector import TraceCollector
+from repro.tracing.span import Span
 
 graph_params = st.tuples(
     st.integers(min_value=2, max_value=120),   # endpoints
@@ -110,3 +114,88 @@ class TestRankingInvariants:
         }
         score = evaluate_ranking(ranking, relevance, k=5)
         assert 0.0 <= score <= 1.0 + 1e-9
+
+
+@st.composite
+def shuffled_span_stream(draw):
+    """Random trace forest delivered as one shuffled global span stream.
+
+    Each trace is a random tree (every non-root span parents onto an
+    earlier span); the global permutation interleaves traces and delivers
+    spans out of order, exercising the collector's reassembly and the
+    streaming builder's re-notification delta path.
+    """
+    services = ["frontend", "auth", "catalog", "db"]
+    spans = []
+    for t in range(draw(st.integers(min_value=1, max_value=5))):
+        for s in range(draw(st.integers(min_value=1, max_value=7))):
+            spans.append(
+                Span(
+                    span_id=f"t{t}-s{s}",
+                    trace_id=f"t{t}",
+                    parent_id=(
+                        None
+                        if s == 0
+                        else f"t{t}-s{draw(st.integers(min_value=0, max_value=s - 1))}"
+                    ),
+                    service=draw(st.sampled_from(services)),
+                    version=draw(st.sampled_from(["1.0.0", "2.0.0"])),
+                    endpoint=draw(st.sampled_from(["home", "api", "query"])),
+                    start=draw(
+                        st.floats(
+                            min_value=0.0,
+                            max_value=500.0,
+                            allow_nan=False,
+                            allow_infinity=False,
+                        )
+                    ),
+                    duration_ms=draw(
+                        st.floats(
+                            min_value=0.0,
+                            max_value=80.0,
+                            allow_nan=False,
+                            allow_infinity=False,
+                        )
+                    ),
+                    error=draw(st.booleans()),
+                    tags={"shadow": "true"} if draw(st.booleans()) else {},
+                )
+            )
+    return draw(st.permutations(spans))
+
+
+class TestStreamingEqualsBatch:
+    """The tentpole exactness guarantee: a StreamingGraphBuilder fed a
+    span stream produces the same graph — node set, edge set, call
+    counts, error counts, response-time totals — as
+    ``build_interaction_graph`` over the assembled traces."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(shuffled_span_stream(), st.booleans())
+    def test_streaming_graph_equals_batch_graph(self, stream, include_shadow):
+        collector = TraceCollector()
+        builder = StreamingGraphBuilder(include_shadow=include_shadow)
+        builder.attach(collector)
+        for span in stream:
+            collector.record(span)
+        batch = build_interaction_graph(
+            collector.traces(), include_shadow=include_shadow
+        )
+        assert graphs_equal(builder.graph, batch)
+
+    @settings(max_examples=25, deadline=None)
+    @given(shuffled_span_stream(), graph_params)
+    def test_live_diff_equals_batch_diff(self, stream, params):
+        n, branching, seed = params
+        baseline = random_interaction_graph(n, branching=branching, seed=seed)
+        collector = TraceCollector()
+        builder = StreamingGraphBuilder().attach(collector)
+        live = LiveTopologyDiff(baseline, builder)
+        for span in stream:
+            collector.record(span)
+        batch = diff_graphs(baseline, builder.graph)
+        current = live.current()
+        assert [c.identity for c in current.changes] == [
+            c.identity for c in batch.changes
+        ]
+        assert current.summary() == batch.summary()

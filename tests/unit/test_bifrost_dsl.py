@@ -113,6 +113,54 @@ class TestParsing:
         assert canary.max_repeats == 2
 
 
+HEALTH = """
+strategy health-gated
+  phase canary
+    type canary
+    service svc
+    stable 1.0.0
+    experimental 2.0.0
+    fraction 0.1
+    check live
+      kind health
+      threshold 0.85
+      window 30
+    check overall
+      kind health
+      service topology
+      threshold 0.7
+      window 30
+"""
+
+
+class TestHealthChecks:
+    def test_kind_parsed_and_normalized(self):
+        canary = parse_strategy(HEALTH).phase("canary")
+        live = canary.checks[0]
+        assert live.kind == "health"
+        assert live.service == "svc"  # inherited from phase
+        assert live.version == "live"
+        assert live.metric == "health.score"
+
+    def test_health_default_operator_is_gte(self):
+        # Health scores are good-when-high, unlike latency/error metrics.
+        canary = parse_strategy(HEALTH).phase("canary")
+        assert canary.checks[0].operator == ">="
+        assert parse_strategy(FULL).phase("canary").checks[0].operator == "<="
+
+    def test_service_override_targets_overall_score(self):
+        overall = parse_strategy(HEALTH).phase("canary").checks[1]
+        assert overall.service == "topology"
+        assert overall.threshold == 0.7
+
+    def test_health_round_trip(self):
+        strategy = parse_strategy(HEALTH)
+        text = strategy_to_dsl(strategy)
+        assert "kind health" in text
+        assert "service topology" in text
+        assert parse_strategy(text) == strategy
+
+
 class TestParsingErrors:
     def test_empty(self):
         with pytest.raises(DSLError):

@@ -70,6 +70,36 @@ class TestCheck:
         check = make_check(operator=operator)
         assert check.compare(observed, reference) is expected
 
+    def test_health_kind_normalizes_address(self):
+        check = make_check(kind="health", metric="ignored", version="9.9.9")
+        assert check.kind == "health"
+        # Health checks always read (service, "live", "health.score").
+        assert check.version == "live"
+        assert check.metric == "health.score"
+
+    def test_health_kind_requires_threshold(self):
+        with pytest.raises(ConfigurationError):
+            make_check(
+                kind="health", threshold=None,
+                baseline_version="1.0.0", tolerance=1.1,
+            )
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_check(kind="vibes")
+
+    def test_serialization_round_trips_kind(self):
+        from repro.bifrost.model import check_from_dict, check_to_dict
+
+        check = make_check(kind="health", threshold=0.9, operator=">=")
+        data = check_to_dict(check)
+        assert data["kind"] == "health"
+        assert check_from_dict(data) == check
+        # Journals written before kinds existed default to metric checks.
+        legacy = check_to_dict(make_check())
+        del legacy["kind"]
+        assert check_from_dict(legacy).kind == "metric"
+
     def test_window_positive(self):
         with pytest.raises(ConfigurationError):
             make_check(window_seconds=0.0)

@@ -53,6 +53,33 @@ class TestWindow:
             series.append(float(t), float(t))
         assert series.last(3.0, now=10.0) == [7.0, 8.0, 9.0]
 
+    def test_start_boundary_included_end_excluded(self):
+        series = TimeSeries()
+        series.extend([(1.0, 10.0), (2.0, 20.0), (3.0, 30.0)])
+        # Half-open [start, end): exactly-on-start in, exactly-on-end out.
+        assert series.window(1.0, 3.0) == [10.0, 20.0]
+        assert series.window(3.0, 4.0) == [30.0]
+
+    def test_adjacent_windows_partition_samples(self):
+        series = TimeSeries()
+        for t in range(8):
+            series.append(float(t), float(t))
+        lower = series.window(0.0, 4.0)
+        upper = series.window(4.0, 8.0)
+        assert lower + upper == series.values  # no loss, no double count
+
+    def test_degenerate_window_is_empty(self):
+        series = TimeSeries()
+        series.append(2.0, 5.0)
+        assert series.window(2.0, 2.0) == []
+
+    def test_last_excludes_sample_at_now(self):
+        series = TimeSeries()
+        series.extend([(7.0, 7.0), (10.0, 99.0)])
+        # last(d, now) is the half-open [now - d, now): the sample
+        # stamped exactly `now` belongs to the *next* window.
+        assert series.last(3.0, now=10.0) == [7.0]
+
 
 class TestResample:
     def test_buckets_average(self):

@@ -70,6 +70,24 @@ class TestMetricStore:
         store.record("svc", "1.0", "m", 0.0, 1.0)
         assert store.aggregate("svc", "1.0", "m", "mean", 5.0, 10.0) is None
 
+    def test_window_boundaries_are_half_open(self):
+        store = MetricStore()
+        for t in (1.0, 2.0, 3.0):
+            store.record("svc", "1.0", "m", t, t * 10)
+        # Sample at start included, sample at end excluded.
+        assert store.values_in_window("svc", "1.0", "m", 1.0, 3.0) == [10.0, 20.0]
+        assert store.aggregate("svc", "1.0", "m", "count", 1.0, 3.0) == 2.0
+        # The end-boundary sample lands in the adjacent window instead.
+        assert store.values_in_window("svc", "1.0", "m", 3.0, 5.0) == [30.0]
+
+    def test_adjacent_windows_never_double_count(self):
+        store = MetricStore()
+        for t in range(6):
+            store.record("svc", "1.0", "m", float(t), 1.0)
+        first = store.aggregate("svc", "1.0", "m", "count", 0.0, 3.0)
+        second = store.aggregate("svc", "1.0", "m", "count", 3.0, 6.0)
+        assert first + second == 6.0
+
     def test_unknown_metric_returns_none(self):
         assert MetricStore().aggregate("a", "b", "c", "mean", 0, 1) is None
 

@@ -206,6 +206,39 @@ class TestRanking:
         table = ranking_table(ranking, limit=1)
         assert table.count("\n") == 0
 
+    def test_missed_relevant_change_lowers_score(self):
+        """Regression: the nDCG ideal must cover the full ground truth.
+
+        A diff/heuristic that never surfaces a highly relevant change
+        used to score a perfect 1.0 because the ideal was computed only
+        from the grades of *ranked* changes; now the unranked
+        ground-truth grade enters the ideal and penalizes the miss.
+        """
+        diff = self.make_diff()
+        ranking = rank_changes(diff, SubtreeComplexityHeuristic())
+        relevance = {
+            ranked.change.identity: float(len(ranking) - i)
+            for i, ranked in enumerate(ranking)
+        }
+        perfect = evaluate_ranking(ranking, relevance, k=5)
+        # Ground truth knows one more highly relevant change the diff
+        # missed entirely (e.g. hidden by sampling or a collector gap).
+        relevance_with_miss = dict(relevance)
+        relevance_with_miss[("updated_version", "ghost/ep", "ghost/ep")] = 10.0
+        punished = evaluate_ranking(ranking, relevance_with_miss, k=5)
+        assert punished < perfect
+        assert punished < 1.0
+
+    def test_missed_irrelevant_change_does_not_lower_score(self):
+        diff = self.make_diff()
+        ranking = rank_changes(diff, SubtreeComplexityHeuristic())
+        relevance = {
+            ranked.change.identity: float(len(ranking) - i)
+            for i, ranked in enumerate(ranking)
+        }
+        relevance[("updated_version", "ghost/ep", "ghost/ep")] = 0.0
+        assert evaluate_ranking(ranking, relevance, k=5) == pytest.approx(1.0)
+
 
 class TestVariants:
     def test_six_variants(self):

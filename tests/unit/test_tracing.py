@@ -130,6 +130,97 @@ class TestCollector:
         assert len(collector) == 0
 
 
+class TestCollectorEviction:
+    def test_late_span_of_evicted_trace_is_dropped(self):
+        """Regression: a late span used to resurrect an evicted trace as
+        a rootless partial bucket, so a later traces() call blew up."""
+        collector = TraceCollector(capacity=2)
+        collector.record(make_span("r0", trace_id="t0"))
+        collector.record(make_span("r1", trace_id="t1"))
+        collector.record(make_span("r2", trace_id="t2"))  # evicts t0
+        assert "t0" in collector.evicted_ids
+        # Late child span of the evicted trace arrives.
+        collector.record(make_span("late", trace_id="t0", parent_id="r0"))
+        assert "t0" not in collector.trace_ids
+        assert collector.late_spans_dropped.value == 1
+        # The whole batch still assembles.
+        assert len(collector.traces()) == 2
+
+    def test_traces_skips_unassemblable_buckets_by_default(self):
+        collector = TraceCollector()
+        collector.record(make_span("root", trace_id="t1"))
+        # A rootless bucket (its parent never arrives).
+        collector.record(make_span("orphan", trace_id="t2", parent_id="ghost"))
+        traces = collector.traces()
+        assert [t.trace_id for t in traces] == ["t1"]
+
+    def test_traces_strict_raises_on_unassemblable_bucket(self):
+        collector = TraceCollector()
+        collector.record(make_span("root", trace_id="t1"))
+        collector.record(make_span("orphan", trace_id="t2", parent_id="ghost"))
+        with pytest.raises(ValidationError):
+            collector.traces(strict=True)
+
+    def test_tombstone_set_is_bounded(self):
+        collector = TraceCollector(capacity=1, tombstones=3)
+        for i in range(6):
+            collector.record(make_span("root", trace_id=f"t{i}"))
+        assert len(collector.evicted_ids) == 3
+        # Oldest tombstones fell off the bounded set.
+        assert collector.evicted_ids == ["t2", "t3", "t4"]
+
+    def test_tombstones_survive_clear(self):
+        collector = TraceCollector(capacity=1)
+        collector.record(make_span("r0", trace_id="t0"))
+        collector.record(make_span("r1", trace_id="t1"))  # evicts t0
+        collector.clear()
+        collector.record(make_span("late", trace_id="t0", parent_id="r0"))
+        assert len(collector) == 0
+        assert collector.late_spans_dropped.value == 1
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(ValidationError):
+            TraceCollector(capacity=0)
+        with pytest.raises(ValidationError):
+            TraceCollector(tombstones=0)
+
+
+class TestCollectorSubscriptions:
+    def test_complete_trace_notifies_subscriber(self):
+        collector = TraceCollector()
+        seen = []
+        collector.subscribe(lambda trace: seen.append(trace.trace_id))
+        collector.record(make_span("child", parent_id="root"))
+        assert seen == []  # incomplete: parent missing
+        collector.record(make_span("root"))
+        assert seen == ["t1"]
+
+    def test_record_all_notifies_once_per_trace(self):
+        collector = TraceCollector()
+        seen = []
+        collector.subscribe(lambda trace: seen.append(len(trace)))
+        collector.record_all(
+            [make_span("root"), make_span("a", parent_id="root")]
+        )
+        assert seen == [2]
+
+    def test_regrown_trace_renotifies_with_cumulative_snapshot(self):
+        collector = TraceCollector()
+        sizes = []
+        collector.subscribe(lambda trace: sizes.append(len(trace)))
+        collector.record(make_span("root"))
+        collector.record(make_span("late", parent_id="root"))
+        assert sizes == [1, 2]
+
+    def test_eviction_notifies_evict_subscriber(self):
+        collector = TraceCollector(capacity=1)
+        evicted = []
+        collector.subscribe(lambda trace: None, evicted.append)
+        collector.record(make_span("r0", trace_id="t0"))
+        collector.record(make_span("r1", trace_id="t1"))
+        assert evicted == ["t0"]
+
+
 class TestQuery:
     @pytest.fixture
     def collector(self) -> TraceCollector:
