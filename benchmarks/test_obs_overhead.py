@@ -1,0 +1,206 @@
+"""Glass-box observability overhead: instrumented vs dark canary runs.
+
+The observability layer promises a near-zero-cost no-op path: with no
+observer attached every emission site short-circuits on a single
+attribute check, and with one attached the per-event cost is a dataclass
+append plus a couple of dict updates on engine *decisions* (ticks,
+transitions, journal records) — never on the per-request hot path.
+This bench pins that promise: the same durable canary is run dark and
+instrumented, the minimum wall-clock of several repetitions is compared,
+and the relative overhead must stay within the budget.
+
+Wall-clock on a shared box is noisy (identical runs spread by more than
+the budget), so the estimator is noise-robust: dark/instrumented runs
+alternate in order-balanced pairs, each config's floor is its minimum
+over all repetitions (the quietest moment the machine offered), and
+further batches of pairs are added until the floor ratio settles within
+the budget or the batch allowance is exhausted.
+
+``OBS_SMOKE=1`` switches to a reduced configuration for CI: fewer
+repetitions and a shorter workload; the correctness assertions (equal
+outcomes, equal routed version paths, events actually collected) always
+hold, while the overhead bound is only enforced in the full run.
+"""
+
+import json
+import os
+import time
+
+from _util import OUTPUT_DIR, emit, format_rows
+
+from repro.bifrost import Bifrost, SnapshotPolicy
+from repro.bifrost.model import Check, Phase, PhaseType, Strategy, StrategyOutcome
+from repro.microservices.application import Application
+from repro.microservices.service import DownstreamCall, EndpointSpec, ServiceVersion
+from repro.obs import Observer
+from repro.simulation.latency import LogNormalLatency
+from repro.traffic.profile import DEFAULT_GROUPS
+from repro.traffic.users import UserPopulation
+from repro.traffic.workload import WorkloadGenerator
+
+SMOKE = os.environ.get("OBS_SMOKE") == "1"
+SEED = 23
+PAIRS_PER_BATCH = 2 if SMOKE else 4
+MAX_BATCHES = 1 if SMOKE else 4
+RATE_RPS = 10.0 if SMOKE else 60.0
+WORKLOAD_SECONDS = 160.0
+RUN_UNTIL = 260.0
+MAX_OVERHEAD = 0.05
+
+
+def build_app() -> Application:
+    """Frontend -> catalog shop with a catalog 2.0.0 canary candidate."""
+    app = Application("shop")
+    app.deploy(
+        ServiceVersion(
+            "frontend",
+            "1.0.0",
+            {
+                "index": EndpointSpec(
+                    "index",
+                    LogNormalLatency(8.0, 0.2),
+                    calls=(DownstreamCall("catalog", "list"),),
+                )
+            },
+            capacity_rps=500.0,
+        ),
+        stable=True,
+    )
+    app.deploy(
+        ServiceVersion(
+            "catalog",
+            "1.0.0",
+            {"list": EndpointSpec("list", LogNormalLatency(18.0, 0.25))},
+            capacity_rps=500.0,
+        ),
+        stable=True,
+    )
+    app.deploy(
+        ServiceVersion(
+            "catalog",
+            "2.0.0",
+            {"list": EndpointSpec("list", LogNormalLatency(16.0, 0.25))},
+            capacity_rps=500.0,
+        )
+    )
+    return app
+
+
+def canary_strategy() -> Strategy:
+    """A 120 s canary on catalog guarded by a user-facing error check."""
+    return Strategy(
+        "catalog-canary",
+        (
+            Phase(
+                name="canary",
+                type=PhaseType.CANARY,
+                service="catalog",
+                stable_version="1.0.0",
+                experimental_version="2.0.0",
+                fraction=0.3,
+                duration_seconds=120.0,
+                check_interval_seconds=10.0,
+                deadline_seconds=500.0,
+                checks=(
+                    Check(
+                        name="user-errors",
+                        service="frontend",
+                        version="1.0.0",
+                        metric="error",
+                        threshold=0.10,
+                        window_seconds=25.0,
+                    ),
+                ),
+            ),
+        ),
+    )
+
+
+def run_once(observer: Observer | None):
+    """One seeded durable canary; returns (wall_s, outcome, paths, events)."""
+    app = build_app()
+    bifrost = Bifrost(
+        app,
+        seed=SEED,
+        durable=True,
+        snapshot_policy=SnapshotPolicy(every_records=5, compact=True),
+        observer=observer,
+    )
+    bifrost.submit(canary_strategy(), at=1.0)
+    population = UserPopulation(300, DEFAULT_GROUPS, seed=SEED + 1)
+    workload = WorkloadGenerator(population, entry="frontend.index", seed=SEED + 2)
+    started = time.perf_counter()
+    outcomes = bifrost.run(
+        workload.poisson(RATE_RPS, WORKLOAD_SECONDS), until=RUN_UNTIL
+    )
+    wall = time.perf_counter() - started
+    execution = bifrost.engine.executions[0]
+    paths = [o.version_path for o in outcomes]
+    events = len(observer.events) if observer is not None else 0
+    return wall, execution.outcome, paths, events
+
+
+def test_observer_overhead_within_budget():
+    """Instrumentation stays within the wall-clock overhead budget."""
+    dark_walls: list[float] = []
+    lit_walls: list[float] = []
+    dark_outcome = lit_outcome = None
+    dark_paths = lit_paths = None
+    events = 0
+    run_once(None)  # warmup: imports, allocator, branch caches
+    pair = 0
+    for batch in range(MAX_BATCHES):
+        for _ in range(PAIRS_PER_BATCH):
+            configs = [("dark", None), ("lit", Observer(enabled=True))]
+            if pair % 2:  # order-balanced: drift hits both configs alike
+                configs.reverse()
+            pair += 1
+            for tag, observer in configs:
+                wall, outcome, paths, collected = run_once(observer)
+                if tag == "dark":
+                    dark_walls.append(wall)
+                    dark_outcome, dark_paths = outcome, paths
+                else:
+                    lit_walls.append(wall)
+                    lit_outcome, lit_paths, events = outcome, paths, collected
+        if min(lit_walls) / min(dark_walls) - 1.0 <= MAX_OVERHEAD:
+            break  # the floors already agree within budget
+
+    dark = min(dark_walls)
+    lit = min(lit_walls)
+    overhead = lit / dark - 1.0
+
+    # Correctness must be untouched by instrumentation, always.
+    assert dark_outcome == StrategyOutcome.COMPLETED
+    assert lit_outcome == dark_outcome
+    assert lit_paths == dark_paths
+    assert events > 0
+
+    rows = [
+        {"config": "dark (no observer)", "wall_s": dark, "events": 0},
+        {"config": "instrumented", "wall_s": lit, "events": events},
+        {
+            "config": "overhead",
+            "wall_s": lit - dark,
+            "events": f"{overhead * 100.0:+.2f}%",
+        },
+    ]
+    emit("Glass-box observability overhead", format_rows(rows))
+    report = {
+        "smoke": SMOKE,
+        "pairs": pair,
+        "dark_wall_s": dark,
+        "instrumented_wall_s": lit,
+        "overhead_fraction": overhead,
+        "events_collected": events,
+        "budget_fraction": MAX_OVERHEAD,
+    }
+    os.makedirs(OUTPUT_DIR, exist_ok=True)
+    with open(os.path.join(OUTPUT_DIR, "BENCH_obs_overhead.json"), "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+
+    if not SMOKE:
+        assert overhead <= MAX_OVERHEAD, (
+            f"observability overhead {overhead * 100.0:.2f}% exceeds "
+            f"{MAX_OVERHEAD * 100.0:.0f}% budget"
+        )

@@ -8,7 +8,8 @@ engine then re-executes phases instead of deciding on no evidence
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field, replace
+from time import perf_counter
 
 from repro.bifrost.model import Check, CheckOutcome
 from repro.telemetry.store import MetricStore
@@ -16,13 +17,19 @@ from repro.telemetry.store import MetricStore
 
 @dataclass(frozen=True)
 class CheckResult:
-    """One evaluation of one check."""
+    """One evaluation of one check.
+
+    ``duration_s`` is the real (wall-clock) evaluation cost, captured
+    for the glass-box layer; it is excluded from equality so results
+    rebuilt from the journal compare equal to the originals.
+    """
 
     check: Check
     time: float
     outcome: CheckOutcome
     observed: float | None
     reference: float | None
+    duration_s: float | None = field(default=None, compare=False)
 
     def describe(self) -> str:
         """Human-readable one-liner for execution logs."""
@@ -49,7 +56,15 @@ class CheckEvaluator:
         (:class:`~repro.topology.streaming.LiveHealthMonitor`), so they
         share the windowing, inconclusive, and comparison semantics of
         plain metric checks.
+
+        The returned result carries the real evaluation duration in
+        :attr:`CheckResult.duration_s`.
         """
+        t0 = perf_counter()
+        result = self._evaluate(check, now)
+        return replace(result, duration_s=perf_counter() - t0)
+
+    def _evaluate(self, check: Check, now: float) -> CheckResult:
         start = now - check.window_seconds
         observed = self.store.aggregate(
             check.service,

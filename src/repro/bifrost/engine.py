@@ -48,6 +48,18 @@ from repro.bifrost.model import (
 )
 from repro.bifrost.state_machine import StateMachine
 from repro.microservices.application import Application
+from repro.obs.events import (
+    ENGINE_CHECK,
+    ENGINE_FINALIZED,
+    ENGINE_PHASE_ENTERED,
+    ENGINE_ROLLOUT,
+    ENGINE_ROUTE,
+    ENGINE_SUBMITTED,
+    ENGINE_TRANSITION,
+    ENGINE_WINNER,
+    JOURNAL_SNAPSHOT,
+)
+from repro.obs.observer import NULL_OBSERVER, Observer
 from repro.routing.proxy import VersionRouter
 from repro.routing.rules import AudienceFilter, ExperimentRoute
 from repro.routing.splitter import (
@@ -166,6 +178,7 @@ class BifrostEngine:
         journal: "Journal | None" = None,
         snapshots: "SnapshotStore | None" = None,
         toggles: "ToggleStore | None" = None,
+        observer: Observer | None = None,
     ) -> None:
         self.simulation = simulation
         self.application = application
@@ -178,6 +191,7 @@ class BifrostEngine:
         self.journal = journal
         self.snapshots = snapshots
         self.toggles = toggles
+        self.obs = observer or NULL_OBSERVER
         self._counter = itertools.count(1)
         self._alive = True
         self._catchup: _CatchupQueue | None = None
@@ -276,6 +290,14 @@ class BifrostEngine:
             routes=tuple(routes),
         )
         self.snapshots.save(snapshot)
+        if self.obs.enabled:
+            self.obs.emit(
+                JOURNAL_SNAPSHOT,
+                self._now,
+                last_lsn=snapshot.last_lsn,
+                executions=len(snapshot.executions),
+            )
+            self.obs.metrics.counter("journal_snapshots_total").increment()
         if self.snapshots.policy.compact:
             self.journal.compact(snapshot.last_lsn)
 
@@ -321,6 +343,16 @@ class BifrostEngine:
         self._journal_append(
             "submitted", {"strategy": strategy_to_dict(strategy), "start": start}
         )
+        if self.obs.enabled:
+            self.obs.emit(
+                ENGINE_SUBMITTED,
+                self._now,
+                strategy=strategy.name,
+                start=start,
+                entry=strategy.entry.name,
+                phases=[phase.name for phase in strategy.phases],
+            )
+            self.obs.metrics.counter("bifrost_submissions_total").increment()
         self.executions.append(execution)
         self._schedule_at(
             start,
@@ -347,6 +379,17 @@ class BifrostEngine:
             "phase_entered",
             {"strategy": execution.strategy.name, "phase": phase_name},
         )
+        if self.obs.enabled:
+            self.obs.emit(
+                ENGINE_PHASE_ENTERED,
+                now,
+                strategy=execution.strategy.name,
+                phase=phase_name,
+                type=phase.type.value,
+            )
+            self.obs.metrics.counter(
+                "bifrost_phase_entries_total", phase=phase_name
+            ).increment()
         if phase.deadline_seconds is not None:
             # The watchdog is measured from the phase *name*'s first
             # entry: repeats share the same time budget instead of
@@ -390,6 +433,9 @@ class BifrostEngine:
                 "deadline",
                 Action.ROLLBACK,
             )
+        )
+        self._emit_transition(
+            execution, phase_name, TERMINAL_ROLLBACK, "deadline", Action.ROLLBACK
         )
         self._finalize(execution, TERMINAL_ROLLBACK)
 
@@ -435,6 +481,7 @@ class BifrostEngine:
                 )
         execution.evaluation_errors += errors
         execution.check_log.extend(results)
+        observing = self.obs.enabled
         journal_checks = []
         for check, result in zip(due, results):
             execution.check_last[check.name] = result.outcome
@@ -449,6 +496,27 @@ class BifrostEngine:
                     "next_due": now + interval,
                 }
             )
+            if observing:
+                self.obs.emit(
+                    ENGINE_CHECK,
+                    now,
+                    strategy=execution.strategy.name,
+                    phase=phase.name,
+                    check=check.name,
+                    outcome=result.outcome.value,
+                    observed=result.observed,
+                    reference=result.reference,
+                    duration_s=result.duration_s,
+                )
+                self.obs.metrics.counter(
+                    "bifrost_checks_total", outcome=result.outcome.value
+                ).increment()
+                if result.duration_s is not None:
+                    self.obs.metrics.histogram("bifrost_check_seconds").observe(
+                        result.duration_s
+                    )
+        if observing and errors:
+            self.obs.metrics.counter("bifrost_check_errors_total").increment(errors)
         # The check round is journaled before the transition it may
         # trigger: a crash (or torn write) between the two leaves a
         # decisive round without a recorded decision — recovery detects
@@ -493,6 +561,14 @@ class BifrostEngine:
                         "version": execution.winner,
                     },
                 )
+                if self.obs.enabled:
+                    self.obs.emit(
+                        ENGINE_WINNER,
+                        now,
+                        strategy=execution.strategy.name,
+                        version=execution.winner,
+                        phase=phase.name,
+                    )
             self._transition(execution, phase, "success")
             return
         self._schedule_tick(execution, phase)
@@ -577,6 +653,15 @@ class BifrostEngine:
                     "step": step,
                 },
             )
+            if self.obs.enabled:
+                self.obs.emit(
+                    ENGINE_ROLLOUT,
+                    self._now,
+                    strategy=execution.strategy.name,
+                    phase=phase.name,
+                    step=step,
+                    fraction=phase.steps[step],
+                )
             self._install_route(execution, phase)
             self.executor.submit(
                 self._now,
@@ -585,6 +670,30 @@ class BifrostEngine:
             )
 
     # -- transitions and actions -------------------------------------------
+
+    def _emit_transition(
+        self,
+        execution: StrategyExecution,
+        source: str,
+        target: str,
+        trigger: str,
+        action: Action,
+    ) -> None:
+        """Emit the glass-box event and counter for one state change."""
+        if not self.obs.enabled:
+            return
+        self.obs.emit(
+            ENGINE_TRANSITION,
+            self._now,
+            strategy=execution.strategy.name,
+            source=source,
+            target=target,
+            trigger=trigger,
+            action=action.value,
+        )
+        self.obs.metrics.counter(
+            "bifrost_transitions_total", trigger=trigger
+        ).increment()
 
     def _transition(
         self, execution: StrategyExecution, phase: Phase, trigger: str
@@ -616,6 +725,9 @@ class BifrostEngine:
                         "inconclusive", Action.REPEAT,
                     )
                 )
+                self._emit_transition(
+                    execution, phase.name, phase.name, "inconclusive", Action.REPEAT
+                )
                 self._enter_phase(execution, phase.name)
                 return
         action = self._action_for(target, trigger)
@@ -632,6 +744,7 @@ class BifrostEngine:
         execution.transitions.append(
             TransitionRecord(self._now, phase.name, target, trigger, action)
         )
+        self._emit_transition(execution, phase.name, target, trigger, action)
         if target in TERMINAL_STATES:
             self._finalize(execution, target)
         else:
@@ -680,6 +793,18 @@ class BifrostEngine:
                 "promoted": promoted,
             },
         )
+        if self.obs.enabled:
+            self.obs.emit(
+                ENGINE_FINALIZED,
+                self._now,
+                strategy=execution.strategy.name,
+                terminal=terminal,
+                outcome=execution.outcome.value,
+                promoted=promoted,
+            )
+            self.obs.metrics.counter(
+                "bifrost_finalized_total", outcome=execution.outcome.value
+            ).increment()
 
     # -- routing -----------------------------------------------------------
 
@@ -732,6 +857,17 @@ class BifrostEngine:
                 "step": execution.rollout_step,
             },
         )
+        if self.obs.enabled:
+            self.obs.emit(
+                ENGINE_ROUTE,
+                self._now,
+                strategy=execution.strategy.name,
+                service=phase.service,
+                phase=phase.name,
+                step=execution.rollout_step,
+                variants={v.version: v.fraction for v in variants},
+            )
+            self.obs.metrics.counter("bifrost_route_updates_total").increment()
 
     # -- recovery ----------------------------------------------------------
 
@@ -876,6 +1012,13 @@ class BifrostEngine:
                             "canceled",
                             Action.ABORT,
                         )
+                    )
+                    self._emit_transition(
+                        execution,
+                        execution.state,
+                        TERMINAL_ABORT,
+                        "canceled",
+                        Action.ABORT,
                     )
                     self._finalize(execution, TERMINAL_ABORT)
                 return execution

@@ -36,6 +36,8 @@ from repro.bifrost.model import (
 )
 from repro.bifrost.state_machine import StateMachine
 from repro.errors import ValidationError
+from repro.obs.events import JOURNAL_APPEND, JOURNAL_COMPACT, JOURNAL_SNAPSHOT
+from repro.obs.observer import NULL_OBSERVER, Observer
 
 #: Version of the journal/snapshot record schema.  Bump on incompatible
 #: layout changes; loaders reject records from *newer* schemas only.
@@ -185,8 +187,13 @@ def decode_record(line: str) -> JournalRecord:
 class Journal:
     """Append-only write-ahead log of engine decisions."""
 
-    def __init__(self, storage: JournalStorage | None = None) -> None:
+    def __init__(
+        self,
+        storage: JournalStorage | None = None,
+        observer: "Observer | None" = None,
+    ) -> None:
         self.storage = storage or MemoryJournalStorage()
+        self.obs = observer or NULL_OBSERVER
         records, _ = self.load()
         self._next_lsn = (records[-1].lsn + 1) if records else 1
 
@@ -200,6 +207,11 @@ class Journal:
         record = JournalRecord(self._next_lsn, kind, time, data)
         self.storage.append_line(encode_record(record))
         self._next_lsn += 1
+        if self.obs.enabled:
+            self.obs.emit(JOURNAL_APPEND, time, record=kind, lsn=record.lsn)
+            self.obs.metrics.counter(
+                "journal_appends_total", kind=kind
+            ).increment()
         return record
 
     def load(self) -> tuple[list[JournalRecord], int]:
@@ -257,6 +269,14 @@ class Journal:
         removed = len(records) - len(keep)
         if removed:
             self.storage.rewrite([encode_record(r) for r in keep])
+            if self.obs.enabled:
+                self.obs.emit(
+                    JOURNAL_COMPACT,
+                    records[-1].time if records else 0.0,
+                    upto_lsn=upto_lsn,
+                    removed=removed,
+                    kept=len(keep),
+                )
         return removed
 
 

@@ -22,6 +22,7 @@ from repro.microservices.application import Application
 from repro.microservices.faults import EngineCrash, FaultCampaign, NetworkState
 from repro.microservices.resilience import ResilienceLayer
 from repro.microservices.runtime import RequestOutcome, Runtime
+from repro.obs.observer import NULL_OBSERVER, Observer
 from repro.routing.proxy import VersionRouter
 from repro.simulation.clock import SimulationClock
 from repro.simulation.engine import SimulationEngine
@@ -53,8 +54,10 @@ class Bifrost:
         snapshot_policy: SnapshotPolicy | None = None,
         restart_policy: RestartPolicy | None = None,
         toggles: ToggleStore | None = None,
+        observer: Observer | None = None,
     ) -> None:
         self.application = application
+        self.observer = observer or NULL_OBSERVER
         self.clock = SimulationClock()
         self.simulation = SimulationEngine(self.clock)
         self.router = VersionRouter()
@@ -74,7 +77,9 @@ class Bifrost:
         self.snapshots: SnapshotStore | None = None
         self.supervisor: EngineSupervisor | None = None
         if durable:
-            self.journal = journal or Journal()
+            self.journal = journal or Journal(observer=self.observer)
+            if journal is not None and journal.obs is NULL_OBSERVER:
+                journal.obs = self.observer
             self.snapshots = SnapshotStore(snapshot_policy)
 
             def factory() -> BifrostEngine:
@@ -90,6 +95,7 @@ class Bifrost:
                     journal=self.journal,
                     snapshots=self.snapshots,
                     toggles=toggles,
+                    observer=self.observer,
                 )
 
             self.supervisor = EngineSupervisor(
@@ -98,6 +104,7 @@ class Bifrost:
                 self.snapshots,
                 monitor=self.runtime.monitor,
                 policy=restart_policy,
+                observer=self.observer,
             )
             self._engine = None
         else:
@@ -108,6 +115,7 @@ class Bifrost:
                 store=self.runtime.monitor.store,
                 costs=costs,
                 toggles=toggles,
+                observer=self.observer,
             )
         self.outcomes: list[RequestOutcome] = []
         self.live_health: "LiveHealthMonitor | None" = None
@@ -190,6 +198,7 @@ class Bifrost:
             include_shadow=include_shadow,
             window_seconds=window_seconds,
             window_capacity=window_capacity,
+            observer=self.observer,
         ).attach(self.collector)
         monitor = LiveHealthMonitor(
             builder,

@@ -47,6 +47,13 @@ from repro.bifrost.model import (
 )
 from repro.bifrost.state_machine import StateMachine
 from repro.errors import ValidationError
+from repro.obs.events import (
+    RECOVERY_CRASH,
+    RECOVERY_REFUSED,
+    RECOVERY_REPLAYED,
+    RECOVERY_RESTART,
+)
+from repro.obs.observer import NULL_OBSERVER, Observer
 from repro.telemetry.monitor import Monitor
 
 _OUTCOME_FOR_ACTION = {
@@ -86,10 +93,12 @@ class RecoveryManager:
         journal: Journal,
         snapshots: SnapshotStore | None = None,
         monitor: Monitor | None = None,
+        observer: Observer | None = None,
     ) -> None:
         self.journal = journal
         self.snapshots = snapshots
         self.monitor = monitor
+        self.obs = observer or NULL_OBSERVER
 
     def recover(
         self, engine: BifrostEngine, restore_stores: bool = False
@@ -139,6 +148,19 @@ class RecoveryManager:
             },
         )
         inflight = engine.adopt(list(executions.values()))
+        if self.obs.enabled:
+            self.obs.emit(
+                RECOVERY_REPLAYED,
+                now,
+                snapshot_restored=snapshot is not None,
+                records_replayed=len(records),
+                records_dropped=dropped,
+                executions=len(executions),
+                inflight=sorted(inflight),
+            )
+            self.obs.metrics.counter("recovery_records_replayed_total").increment(
+                len(records)
+            )
         if self.monitor is not None:
             self.monitor.observe_durability("recovered", now)
             self.monitor.observe_durability(
@@ -289,12 +311,14 @@ class EngineSupervisor:
         snapshots: SnapshotStore | None = None,
         monitor: Monitor | None = None,
         policy: RestartPolicy | None = None,
+        observer: Observer | None = None,
     ) -> None:
         self.factory = factory
         self.journal = journal
         self.snapshots = snapshots
         self.monitor = monitor
         self.policy = policy or RestartPolicy()
+        self.obs = observer or NULL_OBSERVER
         self.engine = factory()
         self.restarts = 0
         self.gave_up = False
@@ -305,6 +329,9 @@ class EngineSupervisor:
         if not self.engine.alive:
             return
         self.engine.kill()
+        if self.obs.enabled:
+            self.obs.emit(RECOVERY_CRASH, now)
+            self.obs.metrics.counter("engine_crashes_total").increment()
         if self.monitor is not None:
             self.monitor.observe_durability("crash", now)
 
@@ -314,13 +341,28 @@ class EngineSupervisor:
             return
         if self.restarts >= self.policy.max_restarts:
             self.gave_up = True
+            if self.obs.enabled:
+                self.obs.emit(
+                    RECOVERY_REFUSED, now, restarts=self.restarts
+                )
             if self.monitor is not None:
                 self.monitor.observe_durability("restart_refused", now)
             return
         self.restarts += 1
         self.engine = self.factory()
-        manager = RecoveryManager(self.journal, self.snapshots, self.monitor)
+        manager = RecoveryManager(
+            self.journal, self.snapshots, self.monitor, observer=self.obs
+        )
         report = manager.recover(self.engine)
         self.reports.append(report)
+        if self.obs.enabled:
+            self.obs.emit(
+                RECOVERY_RESTART,
+                now,
+                restarts=self.restarts,
+                records_replayed=report.records_replayed,
+                inflight=list(report.inflight),
+            )
+            self.obs.metrics.counter("engine_restarts_total").increment()
         if self.monitor is not None:
             self.monitor.observe_durability("restart", now)

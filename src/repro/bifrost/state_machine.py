@@ -9,6 +9,7 @@ engine's dispatch and the Fig 4.2-style visualization via :meth:`to_dot`.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterable
 
 from repro.errors import DSLError
 from repro.bifrost.model import (
@@ -115,17 +116,25 @@ class StateMachine:
             f"{self.strategy.name!r}"
         )
 
-    def to_dot(self) -> str:
+    def to_dot(
+        self, taken: "Iterable[tuple[str, str, str]] | None" = None
+    ) -> str:
         """Graphviz rendering of the machine (cf. Fig 4.2).
 
         Phases gated by a topology-health check are badged with a ♥ so
         the closed execution↔analysis loop is visible in the diagram.
+
+        *taken* is an optional iterable of ``(source, target, trigger)``
+        triples — e.g. derived from an execution's transition log or a
+        glass-box timeline — whose edges are rendered bold so a run's
+        actual path through the machine stands out from the possible one.
         """
         health_gated = {
             phase.name
             for phase in self.strategy.phases
             if any(check.kind == "health" for check in phase.checks)
         }
+        traversed = set(taken) if taken is not None else set()
         lines = [f'digraph "{self.strategy.name}" {{']
         for state in self._states.values():
             shape = "doublecircle" if state.terminal else "box"
@@ -137,9 +146,11 @@ class StateMachine:
                 continue
             lines.append(f'  "{state.name}" [shape={shape}];')
         for transition in self._transitions:
+            key = (transition.source, transition.target, transition.trigger)
+            style = ', penwidth=2.5, style=bold, color="#1f6feb"' if key in traversed else ""
             lines.append(
                 f'  "{transition.source}" -> "{transition.target}" '
-                f'[label="{transition.trigger}"];'
+                f'[label="{transition.trigger}"{style}];'
             )
         lines.append("}")
         return "\n".join(lines)

@@ -31,6 +31,8 @@ from repro.fenrir.fastfit import (
 from repro.fenrir.fitness import FitnessWeights, ScheduleEvaluation, evaluate
 from repro.fenrir.model import SchedulingProblem
 from repro.fenrir.schedule import Schedule
+from repro.obs.events import FENRIR_SEARCH_COMPLETED
+from repro.obs.observer import NULL_OBSERVER, Observer
 
 
 @dataclass
@@ -89,6 +91,7 @@ class BudgetedEvaluator:
         )
         self._delta: DeltaEvaluator | None = None
         self._problem: SchedulingProblem | None = None
+        self.obs: Observer = self.options.observer or NULL_OBSERVER
 
     @property
     def exhausted(self) -> bool:
@@ -274,11 +277,48 @@ class BudgetedEvaluator:
         return [r for r in results if r is not None]
 
     def result(self, algorithm: str) -> SearchResult:
-        """Finalize into a :class:`SearchResult`, publishing telemetry."""
+        """Finalize into a :class:`SearchResult`, publishing telemetry.
+
+        When a glass-box observer is wired through the options, the
+        evaluation counters are bridged into registry metrics (labeled
+        by algorithm) and a ``fenrir.search_completed`` event is emitted
+        with the logical timestamp set to evaluations consumed.
+        """
         assert self.best_schedule is not None and self.best_evaluation is not None
         stats = self.stats.copy()
         if self.options.telemetry is not None:
             publish_eval_stats(self.options.telemetry, algorithm, stats)
+        if self.obs.enabled:
+            metrics = self.obs.metrics
+            metrics.counter(
+                "fenrir_full_evals_total", algorithm=algorithm
+            ).increment(stats.full_evals)
+            metrics.counter(
+                "fenrir_delta_evals_total", algorithm=algorithm
+            ).increment(stats.delta_evals)
+            metrics.counter(
+                "fenrir_cache_hits_total", algorithm=algorithm
+            ).increment(stats.cache_hits)
+            metrics.gauge(
+                "fenrir_cache_hit_rate", algorithm=algorithm
+            ).set(stats.cache_hits / max(1, self.calls))
+            # Events must be seed-reproducible; wall_time_s is the one
+            # wall-clock field in EvalStats, so it stays out of the
+            # payload (SearchResult.eval_stats still carries it).
+            counters = {
+                k: v for k, v in stats.as_dict().items() if k != "wall_time_s"
+            }
+            self.obs.emit(
+                FENRIR_SEARCH_COMPLETED,
+                float(self.used),
+                algorithm=algorithm,
+                evaluations_used=self.used,
+                calls=self.calls,
+                fitness=self.best_evaluation.fitness,
+                penalized=self.best_evaluation.penalized,
+                valid=self.best_evaluation.valid,
+                stats=counters,
+            )
         return SearchResult(
             algorithm=algorithm,
             best_schedule=self.best_schedule,

@@ -51,6 +51,7 @@ from repro.fenrir.fitness import (
 )
 from repro.fenrir.model import SchedulingProblem
 from repro.fenrir.schedule import Gene, Schedule
+from repro.obs.observer import Observer
 from repro.telemetry import MetricStore
 
 
@@ -638,6 +639,11 @@ class EvaluatorOptions:
             serial.
         telemetry: a :class:`MetricStore` to publish evaluation counters
             into when a search run finalizes.
+        observer: a glass-box :class:`~repro.obs.observer.Observer` the
+            search emits per-generation progress and completion events
+            into (logical timestamp = evaluations consumed), bridging
+            :class:`EvalStats` into registry metrics.  ``None`` runs
+            dark.
     """
 
     use_cache: bool = True
@@ -648,6 +654,7 @@ class EvaluatorOptions:
     max_delta_fraction: float = 0.5
     parallel: ParallelEvaluator | None = None
     telemetry: MetricStore | None = None
+    observer: Observer | None = None
 
 
 #: Seed-faithful configuration: every evaluation is a full recomputation

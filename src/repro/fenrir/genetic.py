@@ -19,6 +19,7 @@ from repro.fenrir.fitness import FitnessWeights, ScheduleEvaluation
 from repro.fenrir.model import SchedulingProblem
 from repro.fenrir.operators import crossover, mutate_gene, pack_repair, random_schedule
 from repro.fenrir.schedule import Schedule
+from repro.obs.events import FENRIR_GENERATION
 from repro.simulation.rng import SeededRng
 
 
@@ -73,6 +74,8 @@ class GeneticAlgorithm(SearchAlgorithm):
             population, enforce_budget=False
         )
 
+        obs = evaluator.obs
+        generation = 0
         while not evaluator.exhausted:
             ranked = sorted(
                 range(len(population)),
@@ -86,31 +89,86 @@ class GeneticAlgorithm(SearchAlgorithm):
             # child descends from and, when exactly known, the changed genes.
             parents: list[Schedule | None] = [None] * len(next_population)
             changed_sets: list[frozenset[int] | None] = [None] * len(next_population)
+            # Penalized score of each child's parent (None for elites), so
+            # the observer can report how many offspring beat their parent.
+            parent_scores: list[float | None] = [None] * len(next_population)
+            crossovers = mutations = repairs = 0
             while len(next_population) < self.population_size:
-                parent_a = self._tournament(population, scores, rng)
-                parent_b = self._tournament(population, scores, rng)
+                ia = self._tournament(population, scores, rng)
+                ib = self._tournament(population, scores, rng)
+                parent_a, parent_b = population[ia], population[ib]
                 crossed = rng.random() < self.crossover_rate
                 if crossed:
                     child_a, child_b = crossover(parent_a, parent_b, rng)
+                    crossovers += 1
                 else:
                     child_a, child_b = parent_a.copy(), parent_b.copy()
-                for child, parent in ((child_a, parent_a), (child_b, parent_b)):
+                for child, parent, pi in (
+                    (child_a, parent_a, ia),
+                    (child_b, parent_b, ib),
+                ):
                     mutated, mutated_idx = self._mutated(
                         problem, child, rng, mutation_rate, locked
                     )
+                    mutations += len(mutated_idx)
                     changed = None if crossed else mutated_idx
                     if rng.random() < self.repair_rate:
                         mutated = pack_repair(mutated, rng, locked)
                         changed = None  # repair may move any free gene
+                        repairs += 1
                     next_population.append(mutated)
                     parents.append(parent)
                     changed_sets.append(changed)
+                    parent_scores.append(scores[pi].penalized)
                     if len(next_population) >= self.population_size:
                         break
             population = next_population
             scores = evaluator.evaluate_population(
                 population, parents=parents, changed_sets=changed_sets
             )
+            generation += 1
+            if obs.enabled:
+                offspring = [
+                    (score, parent_score)
+                    for score, parent_score in zip(scores, parent_scores)
+                    if parent_score is not None
+                ]
+                accepted = sum(
+                    1
+                    for score, parent_score in offspring
+                    if score.penalized > parent_score
+                )
+                best = max(scores, key=lambda s: s.penalized)
+                # Budget exhaustion mid-scoring leaves -inf sentinels on
+                # unevaluated individuals; keep the mean finite.
+                finite = [
+                    s.penalized
+                    for s in scores
+                    if s.penalized != float("-inf")
+                ]
+                obs.emit(
+                    FENRIR_GENERATION,
+                    float(evaluator.used),
+                    algorithm=self.name,
+                    generation=generation,
+                    evaluations_used=evaluator.used,
+                    best_penalized=best.penalized,
+                    best_fitness=best.fitness,
+                    mean_penalized=(
+                        sum(finite) / len(finite) if finite else best.penalized
+                    ),
+                    offspring=len(offspring),
+                    accepted=accepted,
+                    crossovers=crossovers,
+                    mutations=mutations,
+                    repairs=repairs,
+                )
+                obs.metrics.counter(
+                    "fenrir_generations_total", algorithm=self.name
+                ).increment()
+                obs.metrics.gauge(
+                    "fenrir_best_penalized", algorithm=self.name
+                ).set(best.penalized)
         return evaluator.result(self.name)
 
     def _tournament(
@@ -118,13 +176,14 @@ class GeneticAlgorithm(SearchAlgorithm):
         population: list[Schedule],
         scores: list[ScheduleEvaluation],
         rng: SeededRng,
-    ) -> Schedule:
+    ) -> int:
+        """Index of the tournament winner (callers index the population)."""
         best_index = rng.randint(0, len(population) - 1)
         for _ in range(self.tournament_size - 1):
             challenger = rng.randint(0, len(population) - 1)
             if scores[challenger].penalized > scores[best_index].penalized:
                 best_index = challenger
-        return population[best_index]
+        return best_index
 
     def _mutated(
         self,

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from repro.errors import InfeasibleScheduleError
 from repro.fenrir.base import SearchAlgorithm, SearchResult
@@ -11,6 +11,8 @@ from repro.fenrir.fitness import FitnessWeights
 from repro.fenrir.genetic import GeneticAlgorithm
 from repro.fenrir.model import ExperimentSpec, SchedulingProblem
 from repro.fenrir.schedule import Schedule
+from repro.obs.events import FENRIR_SCHEDULE
+from repro.obs.observer import NULL_OBSERVER, Observer
 from repro.traffic.profile import TrafficProfile
 
 
@@ -69,10 +71,12 @@ class Fenrir:
         algorithm: SearchAlgorithm | None = None,
         weights: FitnessWeights | None = None,
         options: EvaluatorOptions | None = None,
+        observer: Observer | None = None,
     ) -> None:
         self.algorithm = algorithm or GeneticAlgorithm()
         self.weights = weights or FitnessWeights()
         self.options = options
+        self.observer = observer or NULL_OBSERVER
 
     def schedule(
         self,
@@ -90,13 +94,35 @@ class Fenrir:
         caller can inspect ``result.valid``.
         """
         problem = SchedulingProblem(profile, list(experiments))
-        search = self.algorithm.optimize(
-            problem,
-            budget=budget,
-            seed=seed,
-            weights=self.weights,
-            options=self.options,
-        )
+        options = self.options
+        if self.observer.enabled:
+            # Thread the facade's observer down into the evaluator unless
+            # the caller already wired one through the options.
+            if options is None:
+                options = EvaluatorOptions(observer=self.observer)
+            elif options.observer is None:
+                options = replace(options, observer=self.observer)
+        with self.observer.timed(
+            "fenrir_schedule_seconds", algorithm=self.algorithm.name
+        ):
+            search = self.algorithm.optimize(
+                problem,
+                budget=budget,
+                seed=seed,
+                weights=self.weights,
+                options=options,
+            )
+        if self.observer.enabled:
+            self.observer.emit(
+                FENRIR_SCHEDULE,
+                float(search.evaluations_used),
+                algorithm=self.algorithm.name,
+                experiments=len(problem.experiments),
+                budget=budget,
+                seed=seed,
+                fitness=search.fitness,
+                valid=search.best_evaluation.valid,
+            )
         if require_valid and not search.best_evaluation.valid:
             raise InfeasibleScheduleError(
                 "no valid schedule found within budget; violations: "

@@ -1,0 +1,115 @@
+"""Glass-box observability for the experimentation machinery itself.
+
+:mod:`repro.telemetry` watches the *system under experiment*;
+:mod:`repro.obs` watches the *experimenter*: a structured
+:class:`EventLog` of typed events with monotonic sequence numbers and
+logical timestamps, a labeled :class:`MetricRegistry`, exporters
+(Prometheus-style exposition, streaming JSONL), timelines reconstructed
+purely from events, and an ASCII self-observability dashboard.  The
+whole layer collapses to near-zero cost behind :data:`NULL_OBSERVER`
+when disabled.  See ``docs/OBSERVABILITY.md`` for the event taxonomy.
+"""
+
+from repro.obs.events import (
+    ENGINE_CHECK,
+    ENGINE_FINALIZED,
+    ENGINE_PHASE_ENTERED,
+    ENGINE_ROLLOUT,
+    ENGINE_ROUTE,
+    ENGINE_SUBMITTED,
+    ENGINE_TRANSITION,
+    ENGINE_WINNER,
+    FENRIR_GENERATION,
+    FENRIR_SCHEDULE,
+    FENRIR_SEARCH_COMPLETED,
+    JOURNAL_APPEND,
+    JOURNAL_COMPACT,
+    JOURNAL_SNAPSHOT,
+    RECOVERY_CRASH,
+    RECOVERY_REFUSED,
+    RECOVERY_REPLAYED,
+    RECOVERY_RESTART,
+    TIMELINE_KINDS,
+    TOPOLOGY_HEALTH,
+    Event,
+    EventLog,
+    event_from_dict,
+    load_jsonl,
+)
+from repro.obs.registry import (
+    HISTOGRAM_QUANTILES,
+    MetricRegistry,
+    MetricSample,
+    NoopInstrument,
+    NOOP_INSTRUMENT,
+    labels_key,
+)
+from repro.obs.observer import NULL_OBSERVER, NULL_TIMER, NullTimer, Observer, Timer
+from repro.obs.exporters import (
+    JsonlEventSink,
+    format_sample,
+    render_prometheus,
+    sanitize_metric_name,
+)
+from repro.obs.timeline import (
+    CheckPoint,
+    ExperimentTimeline,
+    PhaseSpan,
+    diff_timeline_execution,
+    reconstruct_timelines,
+    render_ascii,
+    render_dot,
+    timeline_matches_execution,
+)
+from repro.obs.dashboard import glass_box_panel
+
+__all__ = [
+    "ENGINE_CHECK",
+    "ENGINE_FINALIZED",
+    "ENGINE_PHASE_ENTERED",
+    "ENGINE_ROLLOUT",
+    "ENGINE_ROUTE",
+    "ENGINE_SUBMITTED",
+    "ENGINE_TRANSITION",
+    "ENGINE_WINNER",
+    "FENRIR_GENERATION",
+    "FENRIR_SCHEDULE",
+    "FENRIR_SEARCH_COMPLETED",
+    "JOURNAL_APPEND",
+    "JOURNAL_COMPACT",
+    "JOURNAL_SNAPSHOT",
+    "RECOVERY_CRASH",
+    "RECOVERY_REFUSED",
+    "RECOVERY_REPLAYED",
+    "RECOVERY_RESTART",
+    "TIMELINE_KINDS",
+    "TOPOLOGY_HEALTH",
+    "Event",
+    "EventLog",
+    "event_from_dict",
+    "load_jsonl",
+    "HISTOGRAM_QUANTILES",
+    "MetricRegistry",
+    "MetricSample",
+    "NoopInstrument",
+    "NOOP_INSTRUMENT",
+    "labels_key",
+    "NULL_OBSERVER",
+    "NULL_TIMER",
+    "NullTimer",
+    "Observer",
+    "Timer",
+    "JsonlEventSink",
+    "format_sample",
+    "render_prometheus",
+    "sanitize_metric_name",
+    "CheckPoint",
+    "ExperimentTimeline",
+    "PhaseSpan",
+    "diff_timeline_execution",
+    "reconstruct_timelines",
+    "render_ascii",
+    "render_dot",
+    "timeline_matches_execution",
+    "glass_box_panel",
+]

@@ -7,6 +7,8 @@ paper's ecosystem (Istio, Kubernetes) exposes out of the box.
 from __future__ import annotations
 
 import bisect
+from collections import deque
+
 from repro.errors import ValidationError
 from repro.stats.descriptive import SummaryStats, summarize
 
@@ -52,11 +54,13 @@ class Gauge:
 
 
 class Histogram:
-    """A sorted reservoir of observations with percentile queries.
+    """A sorted window of observations with percentile queries.
 
-    Keeps every observation (bounded by *capacity* with reservoir-style
-    truncation of the oldest) — precision matters more than memory at
-    simulation scale.
+    Keeps every observation, bounded by *capacity* with sliding-window
+    eviction of the oldest (this is FIFO truncation, not reservoir
+    sampling) — precision matters more than memory at simulation scale.
+    Arrival order lives in a deque so eviction is O(1) at the front;
+    the parallel sorted list keeps percentile queries cheap.
     """
 
     def __init__(self, name: str, capacity: int = 100_000) -> None:
@@ -65,7 +69,7 @@ class Histogram:
         self.name = name
         self._capacity = capacity
         self._sorted: list[float] = []
-        self._fifo: list[float] = []
+        self._fifo: deque[float] = deque()
 
     def __len__(self) -> int:
         return len(self._fifo)
@@ -76,9 +80,13 @@ class Histogram:
         self._fifo.append(value)
         bisect.insort(self._sorted, value)
         if len(self._fifo) > self._capacity:
-            oldest = self._fifo.pop(0)
+            oldest = self._fifo.popleft()
             idx = bisect.bisect_left(self._sorted, oldest)
             self._sorted.pop(idx)
+
+    def values(self) -> list[float]:
+        """Retained observations in ascending order (a copy)."""
+        return list(self._sorted)
 
     def percentile(self, q: float) -> float:
         """Linear-interpolated percentile over retained observations."""

@@ -45,10 +45,20 @@ class Monitor:
             self.observe_span(span)
 
     def observe_resilience(self, event: "ResilienceEvent") -> None:
-        """Record one resilience event as a count metric sample."""
+        """Record one resilience event as a count metric sample.
+
+        Events carrying a version are recorded under that real version,
+        so per-version :meth:`resilience_count` queries see them.  Only
+        events with *no* version (breaker transitions observed outside
+        any request, for example) fall back to the ``"*"`` wildcard
+        version — those are invisible to per-version queries by design;
+        use :meth:`resilience_count_all` to aggregate across versions
+        including the wildcard bucket.
+        """
+        version = event.version if event.version else "*"
         self.store.record(
             event.service,
-            event.version or "*",
+            version,
             f"resilience.{event.kind}",
             event.time,
             1.0,
@@ -79,6 +89,27 @@ class Monitor:
             service, version, f"resilience.{kind}", "count", start, end
         )
         return value or 0.0
+
+    def resilience_count_all(
+        self, service: str, kind: str, start: float, end: float
+    ) -> float:
+        """Total ``kind`` events for *service* across every version.
+
+        Sums the ``resilience.<kind>`` series of all recorded versions
+        of the service, including the ``"*"`` wildcard bucket that holds
+        events observed without a version — the aggregation that
+        :meth:`resilience_count` (pinned to one version) cannot see.
+        """
+        metric = f"resilience.{kind}"
+        total = 0.0
+        for key in self.store.keys():
+            if key.service != service or key.metric != metric:
+                continue
+            value = self.store.aggregate(
+                key.service, key.version, metric, "count", start, end
+            )
+            total += value or 0.0
+        return total
 
     def error_rate(
         self, service: str, version: str, start: float, end: float

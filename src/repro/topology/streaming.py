@@ -47,6 +47,8 @@ from repro.topology.diff import (
 from repro.topology.graph import InteractionGraph
 from repro.topology.heuristics.base import RankingHeuristic, normalized
 from repro.topology.heuristics.hybrid import HybridHeuristic
+from repro.obs.events import TOPOLOGY_HEALTH
+from repro.obs.observer import NULL_OBSERVER, Observer
 from repro.tracing.trace import Trace
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -241,9 +243,11 @@ class StreamingGraphBuilder:
         include_shadow: bool = True,
         window_seconds: float | None = None,
         window_capacity: int = 8,
+        observer: Observer | None = None,
     ) -> None:
         self.graph = InteractionGraph(name)
         self.include_shadow = include_shadow
+        self.observer = observer or NULL_OBSERVER
         self.windows = (
             GraphWindowRing(window_seconds, window_capacity)
             if window_seconds is not None
@@ -277,6 +281,14 @@ class StreamingGraphBuilder:
 
     def on_trace(self, trace: Trace) -> None:
         """Fold one (possibly re-notified) complete trace into the graph."""
+        if self.observer.enabled:
+            with self.observer.timed("topology_fold_seconds"):
+                self._fold(trace)
+            return
+        self._fold(trace)
+
+    def _fold(self, trace: Trace) -> None:
+        """The fold itself (multiset delta application); see :meth:`on_trace`."""
         observations = Multiset(trace_observations(trace, self.include_shadow))
         already = self._applied.get(trace.trace_id)
         if already is None:
@@ -366,12 +378,13 @@ class LiveTopologyDiff:
         """The up-to-date diff (recomputed only if the graph changed)."""
         version = self._builder.version
         if self._cached is None or version != self._cached_version:
-            self._cached = diff_from_indexes(
-                self._baseline,
-                self._live_graph(),
-                self._base_nodes,
-                self._base_edges,
-            )
+            with self._builder.observer.timed("topology_diff_seconds"):
+                self._cached = diff_from_indexes(
+                    self._baseline,
+                    self._live_graph(),
+                    self._base_nodes,
+                    self._base_edges,
+                )
             self._cached_version = version
             self.refreshes += 1
         return self._cached
@@ -528,6 +541,7 @@ class LiveHealthMonitor:
             raise ValidationError("publish_interval must be >= 0")
         self.live = LiveTopologyDiff(baseline, builder, use_windows)
         self.scorer = scorer or HealthScorer()
+        self.obs = builder.observer
         self._store = store
         self._interval = publish_interval
         self._last_publish: float | None = None
@@ -546,7 +560,9 @@ class LiveHealthMonitor:
 
     def publish(self, timestamp: float) -> HealthReport:
         """Force one score computation + publication at *timestamp*."""
-        report = self.scorer.report(self.live.current())
+        diff = self.live.current()
+        with self.obs.timed("topology_rank_seconds"):
+            report = self.scorer.report(diff)
         for service, score in sorted(report.services.items()):
             self._store.record(
                 service, HEALTH_VERSION, HEALTH_METRIC, timestamp, score
@@ -557,4 +573,16 @@ class LiveHealthMonitor:
         self._last_publish = timestamp
         self.publishes += 1
         self.last_report = report
+        if self.obs.enabled:
+            self.obs.emit(
+                TOPOLOGY_HEALTH,
+                timestamp,
+                overall=report.overall,
+                services=dict(sorted(report.services.items())),
+            )
+            metrics = self.obs.metrics
+            metrics.counter("topology_health_publishes_total").increment()
+            metrics.gauge("topology_health_overall").set(report.overall)
+            for service, score in report.services.items():
+                metrics.gauge("topology_health", service=service).set(score)
         return report

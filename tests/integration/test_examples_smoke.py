@@ -6,13 +6,15 @@ long-running examples (ab_inc_recommendation, experiment_scheduling) are
 exercised piecewise by the integration suite instead.
 """
 
+import os
 import subprocess
 import sys
 from pathlib import Path
 
 import pytest
 
-EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+REPO = Path(__file__).resolve().parents[2]
+EXAMPLES = REPO / "examples"
 
 
 def run_example(name: str, timeout: float = 240.0) -> str:
@@ -80,3 +82,31 @@ class TestExamples:
         assert "strategy outcome: completed" in out
         assert "A/B winner:" in out
         assert "change ranking" in out
+
+    def test_glass_box_canary(self):
+        out = run_example("glass_box_canary.py")
+        assert "strategy outcome: completed" in out
+        assert "engine restarts: 2" in out
+        assert "timeline matches engine record: True" in out
+        assert "events exported to JSONL:" in out
+        assert "repro_fenrir_generations_total" in out
+        assert "glass box" in out
+
+    def test_obs_overhead_bench_smoke(self):
+        env = dict(os.environ, OBS_SMOKE="1", PYTHONPATH=str(REPO / "src"))
+        result = subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "pytest",
+                str(REPO / "benchmarks" / "test_obs_overhead.py"),
+                "-q",
+            ],
+            capture_output=True,
+            text=True,
+            timeout=240.0,
+            env=env,
+        )
+        assert result.returncode == 0, result.stdout[-2000:] + result.stderr[-2000:]
+        artifact = REPO / "benchmarks" / "output" / "BENCH_obs_overhead.json"
+        assert artifact.exists()

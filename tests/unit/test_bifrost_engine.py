@@ -19,9 +19,9 @@ from tests.conftest import constant_endpoint
 GROUPS = (UserGroup("eu", 0.6), UserGroup("na", 0.4))
 
 
-def run_strategy(app, strategy, duration=200.0, rate=40.0, seed=3):
+def run_strategy(app, strategy, duration=200.0, rate=40.0, seed=3, observer=None):
     """Submit *strategy* at t=1 and drive a Poisson workload through it."""
-    bifrost = Bifrost(app, seed=seed)
+    bifrost = Bifrost(app, seed=seed, observer=observer)
     execution = bifrost.submit(strategy, at=1.0)
     population = UserPopulation(400, GROUPS, seed=seed + 1)
     workload = WorkloadGenerator(population, entry="frontend.home", seed=seed + 2)

@@ -1,0 +1,183 @@
+"""Unit tests for the metric registry, observer facade, and exporters."""
+
+import io
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.obs.events import EventLog
+from repro.obs.exporters import (
+    JsonlEventSink,
+    format_sample,
+    render_prometheus,
+    sanitize_metric_name,
+)
+from repro.obs.observer import NULL_OBSERVER, NullTimer, Observer, Timer
+from repro.obs.registry import (
+    NOOP_INSTRUMENT,
+    MetricRegistry,
+    labels_key,
+)
+from repro.telemetry.store import MetricStore
+
+
+class TestMetricRegistry:
+    def test_counter_children_are_distinct_per_label_set(self):
+        registry = MetricRegistry()
+        registry.counter("checks_total", outcome="pass").increment()
+        registry.counter("checks_total", outcome="pass").increment()
+        registry.counter("checks_total", outcome="fail").increment()
+        assert registry.value("checks_total", outcome="pass") == 2.0
+        assert registry.value("checks_total", outcome="fail") == 1.0
+
+    def test_label_order_does_not_matter(self):
+        assert labels_key({"a": "1", "b": "2"}) == labels_key({"b": "2", "a": "1"})
+        registry = MetricRegistry()
+        registry.gauge("g", a="1", b="2").set(3.0)
+        assert registry.value("g", b="2", a="1") == 3.0
+
+    def test_kind_mismatch_raises(self):
+        registry = MetricRegistry()
+        registry.counter("m")
+        with pytest.raises(ValidationError):
+            registry.gauge("m")
+
+    def test_disabled_registry_is_noop(self):
+        registry = MetricRegistry(enabled=False)
+        instrument = registry.counter("anything", label="x")
+        assert instrument is NOOP_INSTRUMENT
+        instrument.increment()
+        instrument.observe(1.0)
+        assert len(registry) == 0
+        assert registry.collect() == []
+
+    def test_collect_histogram_shape(self):
+        registry = MetricRegistry()
+        for v in (1.0, 2.0, 3.0):
+            registry.histogram("lat_seconds", stage="fold").observe(v)
+        samples = {s.name: s for s in registry.collect()}
+        assert samples["lat_seconds_count"].value == 3.0
+        assert samples["lat_seconds_sum"].value == 6.0
+        quantiles = [
+            s for s in registry.collect() if s.name == "lat_seconds"
+        ]
+        assert {dict(s.labels)["quantile"] for s in quantiles} == {
+            "p50",
+            "p90",
+            "p99",
+        }
+
+    def test_value_absent_child_is_none(self):
+        registry = MetricRegistry()
+        assert registry.value("missing") is None
+        registry.histogram("h").observe(1.0)
+        assert registry.value("h") is None  # histograms have no scalar value
+
+
+class TestObserver:
+    def test_emit_appends_event_with_payload(self):
+        observer = Observer(enabled=True)
+        event = observer.emit("engine.check", 5.0, check="errors", outcome="pass")
+        assert event is not None
+        assert event.time == 5.0
+        assert event.data["check"] == "errors"
+        assert len(observer.events) == 1
+
+    def test_disabled_observer_emits_nothing(self):
+        observer = Observer(enabled=False)
+        assert observer.emit("engine.check", 5.0) is None
+        assert len(observer.events) == 0
+        assert not observer.enabled
+
+    def test_null_observer_is_disabled(self):
+        assert not NULL_OBSERVER.enabled
+        assert NULL_OBSERVER.emit("k", 0.0) is None
+
+    def test_timed_records_histogram_observation(self):
+        observer = Observer(enabled=True)
+        with observer.timed("stage_seconds", stage="fold") as timer:
+            assert isinstance(timer, Timer)
+        samples = {s.name: s for s in observer.metrics.collect()}
+        assert samples["stage_seconds_count"].value == 1.0
+        assert timer.elapsed_s >= 0.0
+
+    def test_timed_on_disabled_observer_is_null(self):
+        with NULL_OBSERVER.timed("stage_seconds") as timer:
+            assert isinstance(timer, NullTimer)
+
+
+class TestPrometheusExposition:
+    def test_sanitize_metric_name(self):
+        assert sanitize_metric_name("health.score") == "health_score"
+        assert sanitize_metric_name("1bad") == "_1bad"
+        assert sanitize_metric_name("") == "_"
+
+    def test_format_sample_escapes_label_values(self):
+        line = format_sample("m", (("svc", 'a"b\n'),), 1.0)
+        assert line == 'm{svc="a\\"b\\n"} 1'
+
+    def test_render_registry_families_with_type_headers(self):
+        registry = MetricRegistry()
+        registry.counter("checks_total", outcome="pass").increment(3)
+        text = render_prometheus(registry)
+        assert "# TYPE repro_checks_total counter" in text
+        assert 'repro_checks_total{outcome="pass"} 3' in text
+
+    def test_render_store_series(self):
+        store = MetricStore()
+        store.record("backend", "1.0.0", "error", 1.0, 0.0)
+        store.record("backend", "1.0.0", "error", 2.0, 1.0)
+        text = render_prometheus(store=store)
+        assert "# TYPE repro_store_samples counter" in text
+        assert (
+            'repro_store_samples{metric="error",service="backend",'
+            'version="1.0.0"} 2' in text
+        )
+        assert (
+            'repro_store_last{metric="error",service="backend",'
+            'version="1.0.0"} 1' in text
+        )
+
+    def test_disabled_registry_renders_empty(self):
+        assert render_prometheus(MetricRegistry(enabled=False)) == ""
+
+
+class TestJsonlEventSink:
+    def test_sink_captures_stream_beyond_ring_capacity(self):
+        log = EventLog(capacity=2)
+        buffer = io.StringIO()
+        sink = JsonlEventSink(buffer).attach(log)
+        for i in range(6):
+            log.append("k", float(i))
+        sink.close()
+        lines = buffer.getvalue().splitlines()
+        assert len(lines) == 6  # the ring only retains 2
+        assert sink.written == 6
+
+    def test_attach_with_replay_writes_backlog(self):
+        log = EventLog()
+        log.append("a", 0.0)
+        buffer = io.StringIO()
+        with JsonlEventSink(buffer) as sink:
+            sink.attach(log, replay=True)
+            log.append("b", 1.0)
+        assert len(buffer.getvalue().splitlines()) == 2
+
+    def test_closed_sink_ignores_writes(self):
+        log = EventLog()
+        buffer = io.StringIO()
+        sink = JsonlEventSink(buffer).attach(log)
+        sink.close()
+        log.append("k", 0.0)
+        assert sink.written == 0
+
+    def test_file_target_round_trips(self, tmp_path):
+        from repro.obs.events import load_jsonl
+
+        path = tmp_path / "events.jsonl"
+        log = EventLog()
+        with JsonlEventSink(str(path)) as sink:
+            sink.attach(log)
+            log.append("k", 1.0, {"x": 2})
+        events = load_jsonl(path.read_text().splitlines())
+        assert events == list(log)

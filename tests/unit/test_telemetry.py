@@ -196,3 +196,102 @@ class TestDurabilityMetrics:
 
     def test_no_events_is_zero(self):
         assert Monitor().durability_count("crash", 0.0, 1.0) == 0.0
+
+
+class TestHistogramEviction:
+    """Sliding-window (FIFO) eviction and percentile edge cases."""
+
+    def test_exactly_at_capacity_keeps_everything(self):
+        histogram = Histogram("rt", capacity=4)
+        for v in (4.0, 1.0, 3.0, 2.0):
+            histogram.observe(v)
+        assert len(histogram) == 4
+        assert histogram.values() == [1.0, 2.0, 3.0, 4.0]
+
+    def test_eviction_is_fifo_not_by_value(self):
+        # The *oldest* observation leaves, even when it is the largest —
+        # this is sliding-window truncation, not reservoir sampling.
+        histogram = Histogram("rt", capacity=3)
+        for v in (100.0, 1.0, 2.0, 3.0):
+            histogram.observe(v)
+        assert histogram.values() == [1.0, 2.0, 3.0]
+
+    def test_heavy_eviction_keeps_only_recent_window(self):
+        histogram = Histogram("rt", capacity=10)
+        for v in range(1000):
+            histogram.observe(float(v))
+        assert histogram.values() == [float(v) for v in range(990, 1000)]
+
+    def test_percentile_zero_is_minimum(self):
+        histogram = Histogram("rt")
+        for v in (5.0, 1.0, 9.0):
+            histogram.observe(v)
+        assert histogram.percentile(0) == 1.0
+
+    def test_percentile_hundred_is_maximum(self):
+        histogram = Histogram("rt")
+        for v in (5.0, 1.0, 9.0):
+            histogram.observe(v)
+        assert histogram.percentile(100) == 9.0
+
+    def test_single_element_every_percentile(self):
+        histogram = Histogram("rt")
+        histogram.observe(42.0)
+        for q in (0, 25, 50, 75, 100):
+            assert histogram.percentile(q) == 42.0
+
+    def test_out_of_range_percentile_raises(self):
+        histogram = Histogram("rt")
+        histogram.observe(1.0)
+        with pytest.raises(ValidationError):
+            histogram.percentile(-1)
+        with pytest.raises(ValidationError):
+            histogram.percentile(101)
+
+
+class TestResilienceMetrics:
+    """Version mapping of resilience events and wildcard aggregation."""
+
+    def make_event(self, kind="retry", version="", time=1.0):
+        from repro.microservices.resilience import ResilienceEvent
+
+        return ResilienceEvent(
+            kind=kind, time=time, service="checkout", version=version
+        )
+
+    def test_versioned_event_recorded_under_real_version(self):
+        monitor = Monitor()
+        monitor.observe_resilience(self.make_event(version="2.0.0"))
+        assert (
+            monitor.resilience_count("checkout", "2.0.0", "retry", 0.0, 2.0)
+            == 1.0
+        )
+        # Nothing leaks into the wildcard bucket.
+        assert (
+            monitor.resilience_count("checkout", "*", "retry", 0.0, 2.0) == 0.0
+        )
+
+    def test_versionless_event_falls_back_to_wildcard(self):
+        monitor = Monitor()
+        monitor.observe_resilience(self.make_event(version=""))
+        assert (
+            monitor.resilience_count("checkout", "*", "retry", 0.0, 2.0) == 1.0
+        )
+
+    def test_count_all_sums_versions_and_wildcard(self):
+        monitor = Monitor()
+        monitor.observe_resilience(self.make_event(version="1.0.0"))
+        monitor.observe_resilience(self.make_event(version="2.0.0", time=1.5))
+        monitor.observe_resilience(self.make_event(version="", time=1.7))
+        monitor.observe_resilience(
+            self.make_event(kind="breaker_open", version="", time=1.8)
+        )
+        assert (
+            monitor.resilience_count_all("checkout", "retry", 0.0, 2.0) == 3.0
+        )
+        assert (
+            monitor.resilience_count_all("checkout", "breaker_open", 0.0, 2.0)
+            == 1.0
+        )
+        # Other services' series do not contaminate the sum.
+        assert monitor.resilience_count_all("billing", "retry", 0.0, 2.0) == 0.0
