@@ -45,6 +45,24 @@ class _ScaledLatency(LatencyModel):
         return self.base.mean() * self.factor
 
 
+def _remove_exact(items: list, target: object) -> bool:
+    """Remove *target* from *items* by identity (fall back to equality).
+
+    ``list.remove`` uses value equality, which conflates two equal
+    overlapping faults; preferring identity keeps each handle tied to
+    its own application.
+    """
+    for index, item in enumerate(items):
+        if item is target:
+            del items[index]
+            return True
+    for index, item in enumerate(items):
+        if item == target:
+            del items[index]
+            return True
+    return False
+
+
 @dataclass(frozen=True)
 class InjectedFault:
     """Record of one applied fault (for reporting and reversal)."""
@@ -110,31 +128,47 @@ class FaultInjector:
         return fault
 
     def restore(self, fault: InjectedFault) -> None:
-        """Undo exactly one previously applied *fault*."""
+        """Undo exactly one previously applied *fault*.
+
+        Removal is identity-exact: when the same degradation was applied
+        twice (overlapping windows of equal faults), each handle removes
+        *its own* application, so interleaved restores stay balanced.
+        """
         key = (fault.service, fault.version, fault.endpoint)
         active = self._active.get(key, [])
-        if fault not in active:
+        if not _remove_exact(active, fault):
             raise ConfigurationError(f"fault was not applied (or already restored): {fault}")
-        active.remove(fault)
-        self._order.remove(fault)
+        _remove_exact(self._order, fault)
         self._rebuild(key)
 
     def restore_all(self) -> int:
-        """Undo every applied fault; returns how many were reverted."""
+        """Undo every applied fault in LIFO order; returns the count.
+
+        Reverting last-applied-first mirrors how nested transient-fault
+        windows unwind (a spike inside a burst ends before the burst),
+        so the intermediate endpoint states walked through are exactly
+        the states the campaign walked through forward.
+        """
         count = len(self._order)
-        for key in list(self._active):
-            self._active[key] = []
-            self._rebuild(key)
-        self._order = []
+        for fault in reversed(list(self._order)):
+            self.restore(fault)
         return count
 
     def _rebuild(self, key: tuple[str, str, str]) -> None:
-        """Recompute the endpoint spec from the original + active faults."""
+        """Recompute the endpoint spec from the original + active faults.
+
+        When the last active fault on an endpoint is restored, the cached
+        pristine spec is dropped as well: a later deploy may legitimately
+        replace the endpoint, and a retained stale original would roll
+        that deploy back on the next degrade/restore cycle.
+        """
         service, version, endpoint = key
         original = self._originals[key]
         active = self._active.get(key, [])
         if not active:
             spec = original
+            del self._originals[key]
+            self._active.pop(key, None)
         else:
             factor = 1.0
             added_error = 0.0

@@ -1,0 +1,75 @@
+"""Scenario factory and adversarial scenario fuzzer.
+
+``repro.scenarios`` turns the rest of the library into a test subject:
+seeded, serializable :class:`~repro.scenarios.spec.ScenarioSpec` specs
+compose heavy-tail traffic, flash crowds, cascading failures,
+multi-region topologies, resource-capped nodes, and mid-experiment
+deploys; the factory materializes them into runnable applications,
+strategies, and fault campaigns; cross-layer invariants state what must
+survive; and the fuzzer searches for — then shrinks — configurations
+that falsify them, freezing survivors into the regression corpus.
+"""
+
+from repro.scenarios.corpus import (
+    CorpusEntry,
+    load_corpus,
+    load_entry,
+    save_entry,
+)
+from repro.scenarios.fuzzer import (
+    ARCHETYPES,
+    ARCHETYPES_BY_NAME,
+    Archetype,
+    FuzzReport,
+    ScenarioFuzzer,
+    shrink_violation,
+)
+from repro.scenarios.invariants import (
+    INVARIANTS,
+    Violation,
+    cascade_cap_of,
+    check_invariant,
+)
+from repro.scenarios.runner import ScenarioResult, cascade_depth, run_scenario
+from repro.scenarios.spec import (
+    ArrivalSpec,
+    ExperimentSpec,
+    FaultSpec,
+    FlashCrowdSpec,
+    RegionSpec,
+    ResilienceSpec,
+    ScenarioSpec,
+    ServiceSpec,
+    SloSpec,
+    TopologySpec,
+)
+
+__all__ = [
+    "ARCHETYPES",
+    "ARCHETYPES_BY_NAME",
+    "Archetype",
+    "ArrivalSpec",
+    "CorpusEntry",
+    "ExperimentSpec",
+    "FaultSpec",
+    "FlashCrowdSpec",
+    "FuzzReport",
+    "INVARIANTS",
+    "RegionSpec",
+    "ResilienceSpec",
+    "ScenarioFuzzer",
+    "ScenarioResult",
+    "ScenarioSpec",
+    "ServiceSpec",
+    "SloSpec",
+    "TopologySpec",
+    "Violation",
+    "cascade_cap_of",
+    "cascade_depth",
+    "check_invariant",
+    "load_corpus",
+    "load_entry",
+    "run_scenario",
+    "save_entry",
+    "shrink_violation",
+]

@@ -1,0 +1,124 @@
+"""The regression corpus: counterexamples that must keep reproducing.
+
+Every counterexample the fuzzer finds and shrinks can be frozen as a
+JSON file under ``tests/regression_corpus/``.  Each entry stores the
+minimized spec, the invariant it falsifies, and the violation digest
+observed when it was saved.  CI replays the whole corpus on every run:
+a scenario that once exposed a weakness is never allowed to silently
+stop reproducing — if an engine change legitimately fixes the behaviour,
+the entry must be consciously updated, not forgotten.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.errors import ConfigurationError
+from repro.scenarios.invariants import Violation, check_invariant
+from repro.scenarios.spec import ScenarioSpec
+
+#: Format marker so future corpus migrations can detect old entries.
+CORPUS_FORMAT = 1
+
+
+@dataclass(frozen=True)
+class CorpusEntry:
+    """One frozen counterexample."""
+
+    invariant: str
+    detail: str
+    digest: tuple
+    spec: ScenarioSpec
+
+    @classmethod
+    def from_violation(cls, violation: Violation) -> "CorpusEntry":
+        return cls(
+            invariant=violation.invariant,
+            detail=violation.detail,
+            digest=violation.digest,
+            spec=violation.spec,
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "format": CORPUS_FORMAT,
+            "invariant": self.invariant,
+            "detail": self.detail,
+            "digest": _listify(self.digest),
+            "spec": self.spec.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CorpusEntry":
+        if data.get("format") != CORPUS_FORMAT:
+            raise ConfigurationError(
+                f"unsupported corpus format {data.get('format')!r}"
+            )
+        return cls(
+            invariant=data["invariant"],
+            detail=data["detail"],
+            digest=_tuplify(data["digest"]),
+            spec=ScenarioSpec.from_dict(data["spec"]),
+        )
+
+    def replay(self) -> Violation:
+        """Re-run the scenario; the violation must still reproduce.
+
+        Raises :class:`AssertionError` when the entry no longer violates
+        its invariant or reproduces with a different digest — the signal
+        that engine behaviour changed and the corpus needs a conscious
+        update.
+        """
+        violation = check_invariant(self.invariant, self.spec)
+        assert violation is not None, (
+            f"corpus entry for {self.invariant!r} ({self.spec.name}) no "
+            f"longer reproduces — if an engine change fixed it, update or "
+            f"retire the entry deliberately"
+        )
+        assert violation.digest == self.digest, (
+            f"corpus entry for {self.invariant!r} ({self.spec.name}) "
+            f"reproduces with a different digest: stored {self.digest}, "
+            f"got {violation.digest} — determinism regression or changed "
+            f"engine behaviour"
+        )
+        return violation
+
+
+def _listify(value):
+    if isinstance(value, (tuple, list)):
+        return [_listify(v) for v in value]
+    return value
+
+
+def _tuplify(value):
+    if isinstance(value, list):
+        return tuple(_tuplify(v) for v in value)
+    return value
+
+
+def save_entry(directory: Path | str, violation: Violation) -> Path:
+    """Freeze *violation* as ``<invariant>__<scenario-name>.json``."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    entry = CorpusEntry.from_violation(violation)
+    safe_name = violation.spec.name.replace("/", "_")
+    path = directory / f"{violation.invariant}__{safe_name}.json"
+    path.write_text(json.dumps(entry.to_dict(), indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_entry(path: Path | str) -> CorpusEntry:
+    """Load one corpus file."""
+    return CorpusEntry.from_dict(json.loads(Path(path).read_text()))
+
+
+def load_corpus(directory: Path | str) -> list[tuple[Path, CorpusEntry]]:
+    """Load every ``*.json`` entry under *directory*, sorted by name."""
+    directory = Path(directory)
+    if not directory.is_dir():
+        return []
+    return [
+        (path, load_entry(path)) for path in sorted(directory.glob("*.json"))
+    ]

@@ -1,0 +1,316 @@
+"""The scenario factory: materializing a spec into runnable objects.
+
+Every build function is a pure function of the spec (plus its seed), so
+two factories handed equal specs produce behaviourally identical
+applications, strategies, campaigns, and workloads — the property the
+round-trip and determinism invariants rely on.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.bifrost.model import Check, Phase, PhaseType, Strategy
+from repro.errors import ConfigurationError
+from repro.microservices.application import Application
+from repro.microservices.faults import (
+    ErrorBurst,
+    EngineCrash,
+    FaultCampaign,
+    FaultInjector,
+    LatencySpike,
+    NetworkState,
+    Partition,
+    VersionCrash,
+)
+from repro.microservices.resilience import (
+    BreakerConfig,
+    CallPolicy,
+    ResilienceLayer,
+)
+from repro.microservices.service import (
+    DownstreamCall,
+    EndpointSpec,
+    ServiceVersion,
+)
+from repro.scenarios.spec import (
+    EXPERIMENTAL_VERSION,
+    STABLE_VERSION,
+    TAIL_PARETO,
+    FaultSpec,
+    ScenarioSpec,
+    ServiceSpec,
+)
+from repro.simulation.latency import (
+    CompositeLatency,
+    ConstantLatency,
+    LatencyModel,
+    LoadSensitiveLatency,
+    LogNormalLatency,
+    ParetoLatency,
+)
+from repro.traffic.profile import DEFAULT_GROUPS
+from repro.traffic.users import UserPopulation
+from repro.traffic.workload import Request, WorkloadGenerator
+
+#: Endpoint name every factory-built service exposes.
+ENDPOINT = "ep"
+
+
+def _base_latency(service: ServiceSpec, factor: float = 1.0) -> LatencyModel:
+    """The latency body+tail of one service (optionally degraded)."""
+    median = service.median_ms * factor
+    if service.tail == TAIL_PARETO:
+        return ParetoLatency.from_median(median, service.tail_alpha)
+    return LogNormalLatency(median, service.sigma)
+
+
+def _service_latency(
+    spec: ScenarioSpec, service: ServiceSpec, factor: float = 1.0
+) -> LatencyModel:
+    """Full latency model: tail family + resource cap + region penalty."""
+    latency = _base_latency(service, factor)
+    if service.cpu_cap_rps > 0:
+        latency = LoadSensitiveLatency(latency, pressure=service.pressure)
+    entry_region = spec.services[0].region
+    if service.region and service.region != entry_region:
+        for region in spec.regions:
+            if region.name == service.region and region.cross_latency_ms > 0:
+                latency = CompositeLatency(
+                    ConstantLatency(region.cross_latency_ms), latency
+                )
+                break
+    return latency
+
+
+def _endpoint(
+    spec: ScenarioSpec,
+    service: ServiceSpec,
+    latency_factor: float = 1.0,
+    error_delta: float = 0.0,
+) -> EndpointSpec:
+    return EndpointSpec(
+        name=ENDPOINT,
+        latency=_service_latency(spec, service, latency_factor),
+        error_rate=min(1.0, service.error_rate + error_delta),
+        calls=tuple(
+            DownstreamCall(callee, ENDPOINT) for callee in service.depends_on
+        ),
+    )
+
+
+def build_application(spec: ScenarioSpec) -> Application:
+    """Deploy the spec's chain: stable everywhere, the experimental
+    version (with its ground-truth degradation) on the target service."""
+    app = Application(spec.name)
+    for service in spec.services:
+        capacity = service.cpu_cap_rps if service.cpu_cap_rps > 0 else 1000.0
+        app.deploy(
+            ServiceVersion(
+                service.name,
+                STABLE_VERSION,
+                {ENDPOINT: _endpoint(spec, service)},
+                capacity_rps=capacity,
+            ),
+            stable=True,
+        )
+        if service.name == spec.experiment.service:
+            app.deploy(
+                ServiceVersion(
+                    service.name,
+                    EXPERIMENTAL_VERSION,
+                    {
+                        ENDPOINT: _endpoint(
+                            spec,
+                            service,
+                            latency_factor=spec.experiment.true_latency_factor,
+                            error_delta=spec.experiment.true_error_delta,
+                        )
+                    },
+                    capacity_rps=capacity,
+                )
+            )
+    problems = app.validate_wiring()
+    if problems:
+        raise ConfigurationError(f"scenario wiring invalid: {problems}")
+    return app
+
+
+def build_strategy(spec: ScenarioSpec) -> Strategy:
+    """The canary strategy under test, gated by the spec's single check."""
+    experiment = spec.experiment
+    return Strategy(
+        f"{spec.name}-canary",
+        (
+            Phase(
+                name="canary",
+                type=PhaseType.CANARY,
+                service=experiment.service,
+                stable_version=STABLE_VERSION,
+                experimental_version=EXPERIMENTAL_VERSION,
+                fraction=experiment.fraction,
+                duration_seconds=experiment.duration_seconds,
+                check_interval_seconds=experiment.check_interval_seconds,
+                min_samples=experiment.min_samples,
+                deadline_seconds=experiment.deadline_seconds,
+                checks=(
+                    Check(
+                        name="gate",
+                        service=experiment.service,
+                        version=EXPERIMENTAL_VERSION,
+                        metric=experiment.check_metric,
+                        threshold=experiment.check_threshold,
+                        window_seconds=experiment.check_window_seconds,
+                    ),
+                ),
+            ),
+        ),
+    )
+
+
+def build_resilience(spec: ScenarioSpec) -> ResilienceLayer | None:
+    """The resilience layer (None when the spec configures nothing)."""
+    res = spec.resilience
+    if not (res.retries or res.fallback_service or res.breaker):
+        return None
+    layer = ResilienceLayer(
+        breaker_config=BreakerConfig(
+            failure_threshold=res.breaker_failure_threshold,
+            window_size=res.breaker_window,
+            min_calls=res.breaker_min_calls,
+            open_seconds=res.breaker_open_seconds,
+        )
+        if res.breaker
+        else None
+    )
+    if res.fallback_service:
+        layer.set_policy(
+            CallPolicy(
+                max_retries=res.retries,
+                backoff_base_ms=res.backoff_base_ms,
+                fallback=True,
+            ),
+            service=res.fallback_service,
+        )
+    elif res.retries:
+        layer.set_policy(
+            CallPolicy(max_retries=res.retries, backoff_base_ms=res.backoff_base_ms)
+        )
+    return layer
+
+
+def needs_network(spec: ScenarioSpec) -> bool:
+    """Whether the fault plan includes partitions."""
+    return any(fault.kind == "partition" for fault in spec.faults)
+
+
+def needs_durability(spec: ScenarioSpec) -> bool:
+    """Whether the fault plan includes engine crashes."""
+    return any(fault.kind == "engine_crash" for fault in spec.faults)
+
+
+def build_campaign(
+    spec: ScenarioSpec,
+    app: Application,
+    network: NetworkState | None,
+) -> FaultCampaign:
+    """Translate the spec's transient faults into a fault campaign.
+
+    ``deploy`` faults are *not* campaign faults — see
+    :func:`deploy_plan`; they mutate the application registry instead of
+    degrading endpoint specs.
+    """
+    campaign = FaultCampaign(FaultInjector(app), network=network)
+    for fault in spec.faults:
+        if fault.kind == "error_burst":
+            campaign.add(
+                ErrorBurst(
+                    fault.service, fault.version, fault.endpoint,
+                    fault.magnitude, fault.start, fault.end,
+                )
+            )
+        elif fault.kind == "latency_spike":
+            campaign.add(
+                LatencySpike(
+                    fault.service, fault.version, fault.endpoint,
+                    fault.magnitude, fault.start, fault.end,
+                )
+            )
+        elif fault.kind == "version_crash":
+            campaign.add(
+                VersionCrash(fault.service, fault.version, fault.start, fault.end)
+            )
+        elif fault.kind == "partition":
+            campaign.add(
+                Partition(fault.service, fault.service_b, fault.start, fault.end)
+            )
+        elif fault.kind == "engine_crash":
+            campaign.add(EngineCrash(fault.start, fault.end))
+    return campaign
+
+
+def deploy_plan(spec: ScenarioSpec) -> list[FaultSpec]:
+    """The mid-experiment deploys, in firing order."""
+    return sorted(
+        (f for f in spec.faults if f.kind == "deploy"), key=lambda f: f.start
+    )
+
+
+def apply_deploy(spec: ScenarioSpec, app: Application, fault: FaultSpec) -> None:
+    """Execute one mid-experiment deploy: clone the service's *pristine*
+    spec at ``magnitude``× latency, deploy as ``fault.version``, promote.
+
+    The clone is built from the scenario spec (not the live endpoint
+    object) so an overlapping transient fault on the old stable version
+    never leaks into the new deployment.
+    """
+    service = spec.services[spec.service_index(fault.service)]
+    app.deploy(
+        ServiceVersion(
+            fault.service,
+            fault.version,
+            {ENDPOINT: _endpoint(spec, service, latency_factor=fault.magnitude)},
+            capacity_rps=service.cpu_cap_rps if service.cpu_cap_rps > 0 else 1000.0,
+        ),
+        stable=True,
+    )
+
+
+def build_population(spec: ScenarioSpec, size: int = 300) -> UserPopulation:
+    """The user population issuing requests (seeded off the spec)."""
+    return UserPopulation(size, DEFAULT_GROUPS, seed=spec.seed + 1)
+
+
+def build_workload(
+    spec: ScenarioSpec, population: UserPopulation | None = None
+) -> Iterator[Request]:
+    """The full request stream: arrivals with flash crowds layered in.
+
+    The timeline is cut at every flash-crowd boundary; each segment runs
+    the configured arrival process at the segment's effective rate
+    (base × the product of covering crowd magnitudes).  One generator
+    instance spans all segments so user selection stays a single seeded
+    stream.
+    """
+    population = population or build_population(spec)
+    generator = WorkloadGenerator(
+        population, entry=f"{spec.entry}.{ENDPOINT}", seed=spec.seed + 2
+    )
+    arrivals = spec.arrivals
+    cuts = {0.0, arrivals.duration_seconds}
+    for crowd in spec.flash_crowds:
+        if crowd.start < arrivals.duration_seconds:
+            cuts.add(crowd.start)
+            cuts.add(min(crowd.start + crowd.duration, arrivals.duration_seconds))
+    boundaries = sorted(cuts)
+    for start, end in zip(boundaries, boundaries[1:]):
+        rate = arrivals.rate_per_second
+        for crowd in spec.flash_crowds:
+            if crowd.start <= start < crowd.start + crowd.duration:
+                rate *= crowd.magnitude
+        if arrivals.kind == "pareto":
+            yield from generator.heavy_tail(
+                rate, end - start, alpha=arrivals.alpha, start=start
+            )
+        else:
+            yield from generator.poisson(rate, end - start, start=start)

@@ -51,6 +51,37 @@ class ConstantLatency(LatencyModel):
         return self.value_ms
 
 
+def _norm_ppf(p: float) -> float:
+    """Inverse standard-normal CDF (Acklam's rational approximation).
+
+    Accurate to ~1e-9 over (0, 1) — plenty for pinning tail quantiles
+    without pulling scipy into the hot path.
+    """
+    if not 0.0 < p < 1.0:
+        raise ConfigurationError(f"quantile probability must be in (0, 1), got {p}")
+    a = (-3.969683028665376e+01, 2.209460984245205e+02, -2.759285104469687e+02,
+         1.383577518672690e+02, -3.066479806614716e+01, 2.506628277459239e+00)
+    b = (-5.447609879822406e+01, 1.615858368580409e+02, -1.556989798598866e+02,
+         6.680131188771972e+01, -1.328068155288572e+01)
+    c = (-7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e+00,
+         -2.549732539343734e+00, 4.374664141464968e+00, 2.938163982698783e+00)
+    d = (7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e+00,
+         3.754408661907416e+00)
+    p_low = 0.02425
+    if p < p_low:
+        q = math.sqrt(-2.0 * math.log(p))
+        return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) / \
+            ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0)
+    if p > 1.0 - p_low:
+        q = math.sqrt(-2.0 * math.log(1.0 - p))
+        return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) / \
+            ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0)
+    q = p - 0.5
+    r = q * q
+    return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * q / \
+        (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0)
+
+
 class LogNormalLatency(LatencyModel):
     """Log-normal latency parameterized by its median and spread.
 
@@ -76,6 +107,70 @@ class LogNormalLatency(LatencyModel):
 
     def mean(self) -> float:
         return self.median_ms * math.exp(self.sigma**2 / 2.0)
+
+    def quantile(self, p: float) -> float:
+        """Closed-form quantile: ``exp(mu + sigma * z_p)``."""
+        if self.sigma == 0:
+            if not 0.0 < p < 1.0:
+                raise ConfigurationError(
+                    f"quantile probability must be in (0, 1), got {p}"
+                )
+            return self.median_ms
+        return math.exp(self._mu + self.sigma * _norm_ppf(p))
+
+
+class ParetoLatency(LatencyModel):
+    """Heavy-tailed (Pareto) latency for adversarial scenarios.
+
+    Classic Pareto with minimum *scale_ms* and shape *alpha*: small
+    alphas (1.1–2) give the "p999 is 100× the median" tails production
+    systems exhibit under contention; the mean is infinite for
+    ``alpha <= 1`` so the model requires ``alpha > 1``.
+
+    Args:
+        scale_ms: the distribution's minimum (x_m) in milliseconds.
+        alpha: the tail index; smaller means heavier tails.
+    """
+
+    def __init__(self, scale_ms: float, alpha: float = 1.5) -> None:
+        if scale_ms <= 0:
+            raise ConfigurationError(f"scale must be positive, got {scale_ms}")
+        if alpha <= 1.0:
+            raise ConfigurationError(
+                f"alpha must be > 1 for a finite mean, got {alpha}"
+            )
+        self.scale_ms = float(scale_ms)
+        self.alpha = float(alpha)
+
+    @classmethod
+    def from_median(cls, median_ms: float, alpha: float = 1.5) -> "ParetoLatency":
+        """Build from the median instead of the minimum.
+
+        The Pareto median is ``x_m * 2**(1/alpha)``; parameterizing by
+        median lets scenario specs swap tail families while holding the
+        body of the distribution fixed.
+        """
+        if median_ms <= 0:
+            raise ConfigurationError(f"median must be positive, got {median_ms}")
+        if alpha <= 1.0:
+            raise ConfigurationError(
+                f"alpha must be > 1 for a finite mean, got {alpha}"
+            )
+        return cls(median_ms / 2.0 ** (1.0 / alpha), alpha)
+
+    def sample(self, rng: SeededRng, load: float = 1.0) -> float:
+        return self.scale_ms * rng.paretovariate(self.alpha)
+
+    def mean(self) -> float:
+        return self.scale_ms * self.alpha / (self.alpha - 1.0)
+
+    def quantile(self, p: float) -> float:
+        """Closed-form quantile: ``x_m * (1 - p) ** (-1/alpha)``."""
+        if not 0.0 < p < 1.0:
+            raise ConfigurationError(
+                f"quantile probability must be in (0, 1), got {p}"
+            )
+        return self.scale_ms * (1.0 - p) ** (-1.0 / self.alpha)
 
 
 class LoadSensitiveLatency(LatencyModel):

@@ -9,6 +9,7 @@ fork uncorrelated child streams from one root seed.
 from __future__ import annotations
 
 import random
+import zlib
 from typing import Sequence, TypeVar
 
 T = TypeVar("T")
@@ -28,8 +29,14 @@ class SeededRng:
         self._random = random.Random(self.seed)
 
     def fork(self, label: str) -> "SeededRng":
-        """Derive an independent child stream identified by *label*."""
-        child_seed = hash((self.seed, label)) & 0x7FFFFFFF
+        """Derive an independent child stream identified by *label*.
+
+        The derivation hashes with CRC32 rather than :func:`hash` —
+        string hashing is salted per process, which would make forked
+        streams (and anything replayed from a stored seed, like the
+        scenario regression corpus) differ from one run to the next.
+        """
+        child_seed = zlib.crc32(f"{self.seed}:{label}".encode()) & 0x7FFFFFFF
         return SeededRng(child_seed)
 
     # -- thin delegation ---------------------------------------------------
@@ -69,6 +76,10 @@ class SeededRng:
     def expovariate(self, rate: float) -> float:
         """Exponential variate with the given *rate* (1/mean)."""
         return self._random.expovariate(rate)
+
+    def paretovariate(self, alpha: float) -> float:
+        """Pareto variate with shape *alpha* and minimum 1."""
+        return self._random.paretovariate(alpha)
 
     def weighted_choice(self, items: Sequence[T], weights: Sequence[float]) -> T:
         """Choose one item with probability proportional to its weight."""

@@ -9,6 +9,8 @@ this module builds them directly.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 from repro.errors import ConfigurationError
 from repro.simulation.rng import SeededRng
 from repro.topology.graph import InteractionGraph, NodeKey
@@ -76,6 +78,22 @@ def _copy_graph(graph: InteractionGraph, name: str) -> InteractionGraph:
     return clone
 
 
+@dataclass(frozen=True)
+class AppliedMutation:
+    """One mutation :func:`mutate_graph_logged` actually applied.
+
+    ``op`` is one of ``updated`` / ``new_endpoint`` / ``new_call`` /
+    ``removed_call``; ``target`` is the affected (callee) node and
+    ``caller`` the calling node where one exists.  The log is the ground
+    truth the scenario fuzzer grades rankings against: it records what
+    *really* changed, independent of what the diff later identifies.
+    """
+
+    op: str
+    target: NodeKey
+    caller: NodeKey | None = None
+
+
 def mutate_graph(
     graph: InteractionGraph,
     changes: int,
@@ -90,13 +108,25 @@ def mutate_graph(
     version-updated nodes also degrade their response times — the
     "with performance issues" sub-scenarios.
     """
+    variant, _ = mutate_graph_logged(graph, changes, seed, degradation_factor)
+    return variant
+
+
+def mutate_graph_logged(
+    graph: InteractionGraph,
+    changes: int,
+    seed: int = 13,
+    degradation_factor: float = 1.0,
+) -> tuple[InteractionGraph, list[AppliedMutation]]:
+    """Like :func:`mutate_graph`, but also returns the applied-mutation log."""
     if changes < 0:
         raise ConfigurationError("changes must be >= 0")
     rng = SeededRng(seed)
+    log: list[AppliedMutation] = []
     variant = _copy_graph(graph, f"{graph.name}-variant")
     nodes = variant.nodes
     if not nodes:
-        return variant
+        return variant, log
     new_service_counter = 0
     for change_index in range(changes):
         op = change_index % 4
@@ -126,6 +156,7 @@ def mutate_graph(
                 edge.calls = old_edge.calls
                 edge.total_response_ms = old_edge.total_response_ms
             _remove_node(variant, target)
+            log.append(AppliedMutation("updated", bumped))
             nodes = variant.nodes
         elif op == 1:
             # Calling a new endpoint (brand-new service).
@@ -138,6 +169,7 @@ def mutate_graph(
             edge = variant.add_edge(caller, fresh)
             for _ in range(20):
                 edge.observe(stats.mean_response_ms, error=False)
+            log.append(AppliedMutation("new_endpoint", fresh, caller))
             nodes = variant.nodes
         elif op == 2:
             # Calling an existing endpoint from a new caller.
@@ -149,14 +181,17 @@ def mutate_graph(
                     edge.observe(
                         variant.node_stats(callee).mean_response_ms, error=False
                     )
+                log.append(AppliedMutation("new_call", callee, caller))
         else:
             # Removing a service call (drop a leaf edge).
             caller = rng.choice(nodes)
             succs = variant.successors(caller)
             leaves = [s for s in succs if not variant.successors(s)]
             if leaves:
-                _remove_edge(variant, caller, rng.choice(leaves))
-    return variant
+                leaf = rng.choice(leaves)
+                _remove_edge(variant, caller, leaf)
+                log.append(AppliedMutation("removed_call", leaf, caller))
+    return variant, log
 
 
 def _remove_edge(graph: InteractionGraph, caller: NodeKey, callee: NodeKey) -> None:

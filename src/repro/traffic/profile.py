@@ -168,6 +168,36 @@ def flat_profile(
     return TrafficProfile([volume_per_slot] * num_slots, groups)
 
 
+def with_flash_crowd(
+    profile: TrafficProfile,
+    slot: int,
+    magnitude: float,
+    width: int = 1,
+) -> TrafficProfile:
+    """Layer a flash crowd onto *profile*: slots ``[slot, slot+width)``
+    are multiplied by *magnitude*.
+
+    Flash crowds are the canonical adversarial workload for experiment
+    scheduling: a sudden volume surge makes a fixed traffic split
+    overdrive the experimental variant's capacity.  The window is
+    half-open, matching the PR-4 window semantics everywhere else.
+    """
+    if not 0 <= slot < profile.num_slots:
+        raise ConfigurationError(
+            f"flash crowd slot {slot} outside profile [0, {profile.num_slots})"
+        )
+    if magnitude < 0:
+        raise ConfigurationError(f"magnitude must be >= 0, got {magnitude}")
+    if width < 1:
+        raise ConfigurationError(f"width must be >= 1, got {width}")
+    volumes = profile.volumes()
+    for index in range(slot, min(slot + width, profile.num_slots)):
+        volumes[index] *= magnitude
+    return TrafficProfile(
+        volumes, profile.groups, profile.slot_duration_hours
+    )
+
+
 def consumption_series(
     profile: TrafficProfile, consumed_per_slot: Mapping[int, float]
 ) -> list[tuple[float, float]]:

@@ -99,6 +99,39 @@ class WorkloadGenerator:
                 return
             yield self._make_request(t)
 
+    def heavy_tail(
+        self,
+        rate_per_second: float,
+        duration: float,
+        alpha: float = 1.5,
+        start: float = 0.0,
+    ) -> Iterator[Request]:
+        """Yield arrivals with Pareto inter-arrival gaps (bursty traffic).
+
+        Gaps are ``(1/rate) * ((alpha-1)/alpha) * X`` with ``X`` a unit
+        Pareto of shape *alpha*, so the mean rate matches the Poisson
+        generator while small alphas produce the burst-then-lull pattern
+        that stresses sliding-window checks and breakers far harder than
+        memoryless arrivals.
+        """
+        if rate_per_second <= 0:
+            raise ConfigurationError("rate_per_second must be positive")
+        if duration <= 0:
+            raise ConfigurationError("duration must be positive")
+        if alpha <= 1.0:
+            raise ConfigurationError(
+                f"alpha must be > 1 for a finite mean gap, got {alpha}"
+            )
+        mean_gap = 1.0 / rate_per_second
+        unit = (alpha - 1.0) / alpha
+        t = start
+        end = start + duration
+        while True:
+            t += mean_gap * unit * self._rng.paretovariate(alpha)
+            if t >= end:
+                return
+            yield self._make_request(t)
+
     def constant(
         self, interval: float, count: int, start: float = 0.0
     ) -> Iterator[Request]:

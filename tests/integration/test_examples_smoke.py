@@ -92,6 +92,35 @@ class TestExamples:
         assert "repro_fenrir_generations_total" in out
         assert "glass box" in out
 
+    def test_adversarial_canary(self):
+        out = run_example("adversarial_canary.py")
+        assert "fuzz campaign" in out
+        assert "promotion_truth" in out
+        assert "shrunk counterexample" in out
+        assert "events by kind:" in out
+        assert "scenario.violation_found" in out
+
+    def test_scenario_fuzz_bench_smoke(self):
+        env = dict(
+            os.environ, SCENARIO_FUZZ_SMOKE="1", PYTHONPATH=str(REPO / "src")
+        )
+        result = subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "pytest",
+                str(REPO / "benchmarks" / "test_scenario_fuzz.py"),
+                "-q",
+            ],
+            capture_output=True,
+            text=True,
+            timeout=240.0,
+            env=env,
+        )
+        assert result.returncode == 0, result.stdout[-2000:] + result.stderr[-2000:]
+        artifact = REPO / "benchmarks" / "output" / "BENCH_scenario_fuzz.json"
+        assert artifact.exists()
+
     def test_obs_overhead_bench_smoke(self):
         env = dict(os.environ, OBS_SMOKE="1", PYTHONPATH=str(REPO / "src"))
         result = subprocess.run(

@@ -203,6 +203,100 @@ class TestFaultCampaign:
             campaign.add(ErrorBurst("backend", "1.0.0", "api", 0.5, 3.0, 4.0))
 
 
+class TestOverlappingFaultComposition:
+    """Regression tests: nested windows, equal faults, LIFO unwinding."""
+
+    def test_spike_inside_burst_unwinds_cleanly(self, tiny_app):
+        # A latency spike nested entirely inside an error burst: the
+        # spike's revert must peel off only the spike, and the burst's
+        # revert must recover the pristine spec (object identity).
+        pristine = tiny_app.resolve("backend").endpoint("api")
+        simulation = SimulationEngine()
+        campaign = FaultCampaign(FaultInjector(tiny_app))
+        campaign.add(ErrorBurst("backend", "1.0.0", "api", 0.5, 5.0, 30.0))
+        campaign.add(LatencySpike("backend", "1.0.0", "api", 4.0, 10.0, 20.0))
+        campaign.install(simulation)
+
+        simulation.run_until(15.0)
+        spec = tiny_app.resolve("backend").endpoint("api")
+        assert spec.error_rate == pytest.approx(0.5)
+        assert spec.latency.factor == pytest.approx(4.0)
+
+        simulation.run_until(25.0)
+        spec = tiny_app.resolve("backend").endpoint("api")
+        assert spec.error_rate == pytest.approx(0.5)
+        assert isinstance(spec.latency, ConstantLatency)
+
+        simulation.run_until(35.0)
+        assert tiny_app.resolve("backend").endpoint("api") is pristine
+
+    def test_equal_overlapping_spikes_restore_independently(self, tiny_app):
+        # Two spikes with identical magnitude but staggered windows
+        # produce *equal* fault records; each revert must remove its own
+        # application, not whichever equal record sits first.
+        simulation = SimulationEngine()
+        campaign = FaultCampaign(FaultInjector(tiny_app))
+        campaign.add(LatencySpike("backend", "1.0.0", "api", 3.0, 0.0, 10.0))
+        campaign.add(LatencySpike("backend", "1.0.0", "api", 3.0, 5.0, 15.0))
+        campaign.install(simulation)
+        simulation.run_until(7.0)
+        assert tiny_app.resolve("backend").endpoint("api").latency.factor == pytest.approx(9.0)
+        simulation.run_until(12.0)
+        assert tiny_app.resolve("backend").endpoint("api").latency.factor == pytest.approx(3.0)
+        simulation.run_until(17.0)
+        assert isinstance(
+            tiny_app.resolve("backend").endpoint("api").latency, ConstantLatency
+        )
+
+    def test_equal_degrades_restore_by_identity(self, tiny_app):
+        injector = FaultInjector(tiny_app)
+        first = injector.degrade("backend", "1.0.0", "api", latency_factor=3.0)
+        second = injector.degrade("backend", "1.0.0", "api", latency_factor=3.0)
+        assert first == second and first is not second
+        injector.restore(first)
+        assert tiny_app.resolve("backend").endpoint("api").latency.factor == pytest.approx(3.0)
+        injector.restore(second)
+        assert isinstance(
+            tiny_app.resolve("backend").endpoint("api").latency, ConstantLatency
+        )
+        with pytest.raises(ConfigurationError):
+            injector.restore(second)
+
+    def test_restore_all_unwinds_lifo(self, tiny_app):
+        injector = FaultInjector(tiny_app)
+        injector.degrade("backend", "1.0.0", "api", latency_factor=2.0)
+        injector.degrade("backend", "1.0.0", "api", added_error_rate=0.3)
+        injector.degrade("frontend", "1.0.0", "home", latency_factor=5.0)
+        assert injector.restore_all() == 3
+        assert injector.faults == []
+        assert isinstance(
+            tiny_app.resolve("backend").endpoint("api").latency, ConstantLatency
+        )
+
+    def test_redeploy_after_restore_is_recaptured(self, tiny_app):
+        # Once all faults on an endpoint are restored the injector must
+        # forget its cached pristine spec: a mid-experiment deploy may
+        # replace the endpoint, and the *new* spec becomes the baseline
+        # for later fault cycles.
+        injector = FaultInjector(tiny_app)
+        fault = injector.degrade("backend", "1.0.0", "api", latency_factor=2.0)
+        injector.restore(fault)
+
+        version = tiny_app.resolve("backend")
+        redeployed = type(version.endpoint("api"))(
+            name="api",
+            latency=ConstantLatency(99.0),
+            error_rate=0.0,
+            calls=version.endpoint("api").calls,
+        )
+        version.endpoints["api"] = redeployed
+
+        fault = injector.degrade("backend", "1.0.0", "api", latency_factor=3.0)
+        assert version.endpoint("api").latency.base is redeployed.latency
+        injector.restore(fault)
+        assert version.endpoint("api") is redeployed
+
+
 class _RecordingCrashTarget:
     """Minimal CrashTarget double recording the calls it receives."""
 

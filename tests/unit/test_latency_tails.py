@@ -1,0 +1,116 @@
+"""Heavy-tail latency samplers: quantiles pinned to closed-form values.
+
+The scenario factory leans on two tail families — log-normal and Pareto —
+whose p99/p999 have exact closed forms.  These tests pin the quantile
+implementations to those values (no scipy involved) and sanity-check that
+seeded sampling converges to the same tails.
+"""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.simulation.latency import LogNormalLatency, ParetoLatency, _norm_ppf
+from repro.simulation.rng import SeededRng
+
+# Standard normal quantiles (reference values, Abramowitz & Stegun grade).
+Z_99 = 2.3263478740408408
+Z_999 = 3.0902323061678132
+
+
+class TestNormPpf:
+    def test_pinned_reference_quantiles(self):
+        assert _norm_ppf(0.5) == pytest.approx(0.0, abs=1e-9)
+        assert _norm_ppf(0.99) == pytest.approx(Z_99, abs=1e-6)
+        assert _norm_ppf(0.999) == pytest.approx(Z_999, abs=1e-6)
+        assert _norm_ppf(0.01) == pytest.approx(-Z_99, abs=1e-6)
+
+    def test_symmetry(self):
+        for p in (0.001, 0.025, 0.3, 0.77, 0.9995):
+            assert _norm_ppf(p) == pytest.approx(-_norm_ppf(1.0 - p), abs=1e-8)
+
+    @pytest.mark.parametrize("p", [0.0, 1.0, -0.1, 1.5])
+    def test_domain_enforced(self, p):
+        with pytest.raises(ConfigurationError):
+            _norm_ppf(p)
+
+
+class TestParetoQuantiles:
+    def test_p99_closed_form(self):
+        # x_m * (1 - p) ** (-1/alpha): 10 * 0.01^(-2/3) = 10 * 100^(2/3)
+        model = ParetoLatency(10.0, alpha=1.5)
+        assert model.quantile(0.99) == pytest.approx(10.0 * 100.0 ** (2.0 / 3.0))
+        assert model.quantile(0.99) == pytest.approx(215.443469, rel=1e-8)
+
+    def test_p999_closed_form(self):
+        # 10 * 0.001^(-2/3) = 10 * 1000^(2/3) = exactly 1000.
+        model = ParetoLatency(10.0, alpha=1.5)
+        assert model.quantile(0.999) == pytest.approx(1000.0, rel=1e-12)
+
+    def test_median_and_mean(self):
+        model = ParetoLatency(10.0, alpha=2.0)
+        assert model.quantile(0.5) == pytest.approx(10.0 * math.sqrt(2.0))
+        assert model.mean() == pytest.approx(20.0)
+
+    def test_from_median_round_trips(self):
+        model = ParetoLatency.from_median(12.0, alpha=1.7)
+        assert model.quantile(0.5) == pytest.approx(12.0, rel=1e-12)
+
+    def test_sampling_matches_closed_form_tail(self):
+        model = ParetoLatency(5.0, alpha=1.8)
+        rng = SeededRng(99)
+        samples = sorted(model.sample(rng) for _ in range(200_000))
+        p99_hat = samples[int(0.99 * len(samples))]
+        assert p99_hat == pytest.approx(model.quantile(0.99), rel=0.05)
+        assert min(samples) >= 5.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ParetoLatency(0.0, alpha=1.5)
+        with pytest.raises(ConfigurationError):
+            ParetoLatency(10.0, alpha=1.0)
+        with pytest.raises(ConfigurationError):
+            ParetoLatency.from_median(0.0)
+        with pytest.raises(ConfigurationError):
+            ParetoLatency.from_median(10.0, alpha=0.9)
+        with pytest.raises(ConfigurationError):
+            ParetoLatency(10.0).quantile(1.0)
+
+
+class TestLogNormalQuantiles:
+    def test_p99_closed_form(self):
+        model = LogNormalLatency(20.0, sigma=0.5)
+        assert model.quantile(0.99) == pytest.approx(
+            20.0 * math.exp(0.5 * Z_99), rel=1e-6
+        )
+
+    def test_p999_closed_form(self):
+        model = LogNormalLatency(20.0, sigma=0.5)
+        assert model.quantile(0.999) == pytest.approx(
+            20.0 * math.exp(0.5 * Z_999), rel=1e-6
+        )
+
+    def test_median_is_parameter(self):
+        assert LogNormalLatency(35.0, 0.4).quantile(0.5) == pytest.approx(35.0)
+
+    def test_degenerate_sigma_zero(self):
+        model = LogNormalLatency(15.0, sigma=0.0)
+        assert model.quantile(0.001) == 15.0
+        assert model.quantile(0.999) == 15.0
+        with pytest.raises(ConfigurationError):
+            model.quantile(1.0)
+
+    def test_sampling_matches_closed_form_tail(self):
+        model = LogNormalLatency(10.0, sigma=0.6)
+        rng = SeededRng(7)
+        samples = sorted(model.sample(rng) for _ in range(200_000))
+        p99_hat = samples[int(0.99 * len(samples))]
+        assert p99_hat == pytest.approx(model.quantile(0.99), rel=0.05)
+
+    def test_pareto_tail_dominates_lognormal(self):
+        # Same median, but the Pareto's p999/median ratio must be far
+        # larger — the whole reason scenarios offer both families.
+        lognormal = LogNormalLatency(10.0, sigma=0.3)
+        pareto = ParetoLatency.from_median(10.0, alpha=1.2)
+        assert pareto.quantile(0.999) > 10 * lognormal.quantile(0.999)

@@ -1,0 +1,147 @@
+"""Traffic-layer edge cases: zero-traffic windows, single-user
+populations, half-open window boundaries, flash crowds, heavy tails.
+
+The scenario fuzzer stresses these paths constantly, so each edge gets a
+pinned unit test rather than relying on the fuzzer stumbling over it.
+"""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.traffic.profile import (
+    DEFAULT_GROUPS,
+    UserGroup,
+    flat_profile,
+    with_flash_crowd,
+)
+from repro.traffic.users import UserPopulation
+from repro.traffic.workload import WorkloadGenerator
+
+SOLE = (UserGroup("all", 1.0),)
+
+
+def make_generator(seed: int = 5, population_size: int = 50) -> WorkloadGenerator:
+    population = UserPopulation(population_size, DEFAULT_GROUPS, seed=seed)
+    return WorkloadGenerator(population, entry="frontend.home", seed=seed + 1)
+
+
+class TestZeroTrafficWindows:
+    def test_zero_volume_slots_yield_no_requests(self):
+        profile = flat_profile(3, 0.0)
+        assert list(make_generator().from_profile(profile)) == []
+
+    def test_zero_slot_between_busy_slots_is_silent(self):
+        profile = with_flash_crowd(flat_profile(3, 7200.0), slot=1, magnitude=0.0)
+        requests = list(make_generator().from_profile(profile))
+        assert requests, "busy slots must still produce traffic"
+        slot_seconds = profile.slot_duration_hours * 3600.0
+        assert all(
+            not slot_seconds <= r.timestamp < 2 * slot_seconds for r in requests
+        )
+
+    def test_zero_rate_per_second(self):
+        assert flat_profile(2, 0.0).rate_per_second(1) == 0.0
+
+
+class TestSingleUserPopulation:
+    def test_all_requests_from_the_only_user(self):
+        population = UserPopulation(1, SOLE, seed=3)
+        generator = WorkloadGenerator(population, entry="frontend.home", seed=4)
+        requests = list(generator.poisson(5.0, 20.0))
+        assert requests
+        assert {r.user_id for r in requests} == {"u0000000"}
+        assert {r.group for r in requests} == {"all"}
+
+    def test_single_user_multi_group_population(self):
+        # One user still lands in exactly one of the declared groups.
+        population = UserPopulation(1, DEFAULT_GROUPS, seed=3)
+        [user_id] = population.user_ids
+        assert population.group_of(user_id) in {g.name for g in DEFAULT_GROUPS}
+
+    def test_empty_group_sampling_rejected(self):
+        population = UserPopulation(1, DEFAULT_GROUPS, seed=3)
+        [user_id] = population.user_ids
+        empty = next(
+            g.name for g in DEFAULT_GROUPS if g.name != population.group_of(user_id)
+        )
+        from repro.simulation.rng import SeededRng
+
+        with pytest.raises(ConfigurationError):
+            population.sample(SeededRng(0), groups=[empty])
+
+
+class TestHalfOpenWindows:
+    def test_poisson_excludes_end(self):
+        requests = list(make_generator().poisson(50.0, 10.0, start=2.0))
+        assert requests
+        assert all(2.0 < r.timestamp < 12.0 for r in requests)
+
+    def test_heavy_tail_excludes_end(self):
+        requests = list(
+            make_generator().heavy_tail(50.0, 10.0, alpha=1.3, start=2.0)
+        )
+        assert requests
+        assert all(2.0 < r.timestamp < 12.0 for r in requests)
+
+    def test_constant_includes_start_excludes_end_count(self):
+        requests = list(make_generator().constant(1.0, 5, start=10.0))
+        assert [r.timestamp for r in requests] == [10.0, 11.0, 12.0, 13.0, 14.0]
+
+    def test_flash_crowd_window_is_half_open(self):
+        profile = with_flash_crowd(flat_profile(4, 100.0), slot=1, magnitude=3.0, width=2)
+        assert profile.volumes() == [100.0, 300.0, 300.0, 100.0]
+
+    def test_flash_crowd_clipped_at_horizon(self):
+        profile = with_flash_crowd(flat_profile(3, 10.0), slot=2, magnitude=2.0, width=5)
+        assert profile.volumes() == [10.0, 10.0, 20.0]
+
+    def test_flash_crowd_validation(self):
+        profile = flat_profile(3, 10.0)
+        with pytest.raises(ConfigurationError):
+            with_flash_crowd(profile, slot=3, magnitude=2.0)
+        with pytest.raises(ConfigurationError):
+            with_flash_crowd(profile, slot=-1, magnitude=2.0)
+        with pytest.raises(ConfigurationError):
+            with_flash_crowd(profile, slot=0, magnitude=-0.5)
+        with pytest.raises(ConfigurationError):
+            with_flash_crowd(profile, slot=0, magnitude=2.0, width=0)
+
+    def test_flash_crowd_leaves_original_untouched(self):
+        profile = flat_profile(3, 10.0)
+        with_flash_crowd(profile, slot=0, magnitude=9.0)
+        assert profile.volumes() == [10.0, 10.0, 10.0]
+
+
+class TestHeavyTailArrivals:
+    def test_mean_rate_matches_poisson_calibration(self):
+        n = len(list(make_generator(seed=11).heavy_tail(20.0, 400.0, alpha=1.8)))
+        assert n == pytest.approx(20.0 * 400.0, rel=0.1)
+
+    def test_small_alpha_burstier_than_poisson(self):
+        # Burstiness: coefficient of variation of inter-arrival gaps.
+        def cv(timestamps):
+            gaps = [b - a for a, b in zip(timestamps, timestamps[1:])]
+            mean = sum(gaps) / len(gaps)
+            var = sum((g - mean) ** 2 for g in gaps) / len(gaps)
+            return var**0.5 / mean
+
+        poisson = [r.timestamp for r in make_generator(seed=2).poisson(10.0, 300.0)]
+        bursty = [
+            r.timestamp
+            for r in make_generator(seed=2).heavy_tail(10.0, 300.0, alpha=1.15)
+        ]
+        assert cv(bursty) > 1.5 * cv(poisson)
+
+    def test_determinism(self):
+        a = [r.timestamp for r in make_generator(seed=8).heavy_tail(5.0, 60.0)]
+        b = [r.timestamp for r in make_generator(seed=8).heavy_tail(5.0, 60.0)]
+        assert a == b
+
+    def test_validation(self):
+        generator = make_generator()
+        with pytest.raises(ConfigurationError):
+            list(generator.heavy_tail(0.0, 10.0))
+        with pytest.raises(ConfigurationError):
+            list(generator.heavy_tail(5.0, 0.0))
+        with pytest.raises(ConfigurationError):
+            list(generator.heavy_tail(5.0, 10.0, alpha=1.0))
