@@ -19,7 +19,7 @@ surfaced as a ``durability.*`` metric through the telemetry monitor.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
+from typing import Callable, Iterable
 
 from repro.bifrost.checks import CheckResult
 from repro.bifrost.engine import BifrostEngine, StrategyExecution, TransitionRecord
@@ -52,6 +52,7 @@ from repro.obs.events import (
     RECOVERY_REFUSED,
     RECOVERY_REPLAYED,
     RECOVERY_RESTART,
+    RECOVERY_RESTART_FAILED,
 )
 from repro.obs.observer import NULL_OBSERVER, Observer
 from repro.telemetry.monitor import Monitor
@@ -290,9 +291,33 @@ class RestartPolicy:
         max_restarts: how many recoveries the supervisor performs before
             refusing further ones (the classic supervised-restart bound —
             a crash-looping engine should page a human, not spin).
+        window_seconds: when set, the budget slides: only restarts within
+            the trailing ``window_seconds`` of simulated time count
+            against ``max_restarts``, so a long-lived engine that crashes
+            rarely is never starved by ancient history.  ``None`` keeps
+            the lifetime budget.
     """
 
     max_restarts: int = 3
+    window_seconds: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_restarts < 0:
+            raise ValidationError("max_restarts must be >= 0")
+        if self.window_seconds is not None and self.window_seconds <= 0:
+            raise ValidationError("window_seconds must be positive")
+
+    def charged(self, restart_times: Iterable[float], now: float) -> int:
+        """How many past restarts count against the budget at *now*."""
+        times = list(restart_times)
+        if self.window_seconds is None:
+            return len(times)
+        cutoff = now - self.window_seconds
+        return sum(1 for t in times if t > cutoff)
+
+    def allows(self, restart_times: Iterable[float], now: float) -> bool:
+        """Whether one more restart fits the budget at *now*."""
+        return self.charged(restart_times, now) < self.max_restarts
 
 
 class EngineSupervisor:
@@ -321,8 +346,25 @@ class EngineSupervisor:
         self.obs = observer or NULL_OBSERVER
         self.engine = factory()
         self.restarts = 0
+        self.restart_times: list[float] = []
+        self.restart_failures = 0
         self.gave_up = False
         self.reports: list[RecoveryReport] = []
+
+    def budget_remaining(self, now: float) -> int:
+        """Restarts still allowed at *now* under the policy window."""
+        charged = self.policy.charged(self.restart_times, now)
+        return max(0, self.policy.max_restarts - charged)
+
+    def restore_counters(self, restarts: int, times: Iterable[float]) -> None:
+        """Reload restart accounting after a supervisor-process restart.
+
+        A recovered orchestrator rebuilds its supervisors from journals;
+        without this, every recovery would silently refill the restart
+        budget of a crash-looping engine.
+        """
+        self.restarts = int(restarts)
+        self.restart_times = [float(t) for t in times]
 
     def crash(self, now: float) -> None:
         """Kill the current engine (no-op when already down)."""
@@ -336,33 +378,63 @@ class EngineSupervisor:
             self.monitor.observe_durability("crash", now)
 
     def restart(self, now: float) -> None:
-        """Build a fresh engine and recover it, if the budget allows."""
+        """Build a fresh engine and recover it, if the budget allows.
+
+        A crash *during* recovery (a factory or replay failure) consumes
+        the attempt and leaves the engine dead: the supervisor absorbs
+        the exception, surfaces it through obs/telemetry, and a later
+        restart may retry within whatever budget remains.
+        """
         if self.engine.alive:
             return
-        if self.restarts >= self.policy.max_restarts:
+        if not self.policy.allows(self.restart_times, now):
             self.gave_up = True
             if self.obs.enabled:
                 self.obs.emit(
-                    RECOVERY_REFUSED, now, restarts=self.restarts
+                    RECOVERY_REFUSED,
+                    now,
+                    restarts=self.restarts,
+                    charged=self.policy.charged(self.restart_times, now),
                 )
+                self.obs.metrics.counter("engine_restarts_refused_total").increment()
             if self.monitor is not None:
                 self.monitor.observe_durability("restart_refused", now)
             return
         self.restarts += 1
-        self.engine = self.factory()
-        manager = RecoveryManager(
-            self.journal, self.snapshots, self.monitor, observer=self.obs
-        )
-        report = manager.recover(self.engine)
+        self.restart_times.append(now)
+        try:
+            self.engine = self.factory()
+            manager = RecoveryManager(
+                self.journal, self.snapshots, self.monitor, observer=self.obs
+            )
+            report = manager.recover(self.engine)
+        except Exception as exc:
+            self.restart_failures += 1
+            self.engine.kill()
+            if self.obs.enabled:
+                self.obs.emit(
+                    RECOVERY_RESTART_FAILED,
+                    now,
+                    restarts=self.restarts,
+                    error=f"{type(exc).__name__}: {exc}",
+                )
+                self.obs.metrics.counter("engine_restart_failures_total").increment()
+            if self.monitor is not None:
+                self.monitor.observe_durability("restart_failed", now)
+            return
         self.reports.append(report)
         if self.obs.enabled:
             self.obs.emit(
                 RECOVERY_RESTART,
                 now,
                 restarts=self.restarts,
+                budget_remaining=self.budget_remaining(now),
                 records_replayed=report.records_replayed,
                 inflight=list(report.inflight),
             )
             self.obs.metrics.counter("engine_restarts_total").increment()
+            self.obs.metrics.gauge("engine_restart_budget_remaining").set(
+                float(self.budget_remaining(now))
+            )
         if self.monitor is not None:
             self.monitor.observe_durability("restart", now)

@@ -1,0 +1,164 @@
+"""Crash-consistent fleet recovery from the fleet WAL.
+
+The orchestrator journals with a redo-logging discipline: a slot's
+``fleet_slot`` commit record is the *only* durability point — everything
+between slot start and commit (admission decisions, traffic feeds,
+engine advances) is a deterministic function of the committed state
+plus each experiment's own WAL, so an uncommitted slot is simply redone.
+Recovery therefore folds the committed prefix into a
+:class:`~repro.fleet.orchestrator._ResumeState`, rebuilds every
+started-but-unfinished experiment's engine through the PR-2
+:class:`~repro.bifrost.recovery.RecoveryManager` (journal replay +
+catch-up at original logical timestamps), re-feeds the deterministic
+traffic of committed slots into fresh metric stores, reloads each
+supervisor's restart accounting (a crash-looper must not get a fresh
+budget just because the *orchestrator* died), and resumes at the slot
+cursor.  The property test in ``tests/property/test_fleet_properties.py``
+asserts the recovered run's result digest equals the uncrashed run's for
+every fleet-WAL kill point.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.bifrost.journal import Journal
+from repro.bifrost.recovery import RecoveryManager
+from repro.errors import ValidationError
+from repro.fleet.orchestrator import (
+    EXPERIMENTAL_VERSION,
+    K_PLANNED,
+    K_RECOVERED,
+    K_SLOT,
+    STABLE_VERSION,
+    ExperimentFaults,
+    FleetConfig,
+    FleetOrchestrator,
+    SlotLedger,
+    _ResumeState,
+    _schedule_from_doc,
+)
+from repro.fleet.watchdog import FleetWatchdog
+from repro.obs.events import FLEET_RECOVERED
+from repro.obs.observer import NULL_OBSERVER, Observer
+
+
+def recover_fleet(
+    fleet_journal: Journal,
+    journal_factory: Callable[[str], Journal],
+    observer: Observer | None = None,
+    watchdog: FleetWatchdog | None = None,
+    crash_after_appends: int | None = None,
+) -> FleetOrchestrator:
+    """Rebuild a killed orchestrator from its WAL, ready to resume.
+
+    *journal_factory* must hand back each experiment's surviving journal
+    (same contract as the orchestrator's constructor argument); the
+    fleet plan, config, world, and injected faults all come from the
+    WAL's ``fleet_planned`` record.  *watchdog* is re-supplied by the
+    caller because health providers are live objects the WAL cannot
+    carry — recovery equality requires supplying an equivalent one.
+    """
+    obs = observer or NULL_OBSERVER
+    records, dropped = fleet_journal.records_after(0)
+    if dropped:
+        fleet_journal.truncate_corrupt_tail()
+    planned = next((r for r in records if r.kind == K_PLANNED), None)
+    if planned is None:
+        raise ValidationError("fleet journal has no fleet_planned record")
+    doc = planned.data
+    config = FleetConfig.from_dict(doc["config"])
+    world = {str(k): float(v) for k, v in doc["world"].items()}
+    faults = {
+        str(k): ExperimentFaults.from_dict(v) for k, v in doc["faults"].items()
+    }
+    schedule = _schedule_from_doc(doc["schedule"])
+
+    state = _ResumeState()
+    for record in records:
+        if record.kind != K_SLOT:
+            continue
+        row = SlotLedger.from_dict(record.data)
+        state.ledger.append(row)
+        state.cursor = row.slot + 1
+        state.started.update(row.started)
+        for name, outcome in row.outcomes:
+            state.outcomes[name] = outcome
+        for name, reason in row.shed:
+            state.sheds[name] = reason
+        for name in row.restarted:
+            state.restarts[name] = state.restarts.get(name, 0) + 1
+            state.restart_times.setdefault(name, []).append(
+                (row.slot + 1) * config.slot_seconds
+            )
+        state.deferrals = {
+            str(k): int(v) for k, v in record.data.get("deferrals", {}).items()
+        }
+        state.aborted = bool(record.data.get("aborted", False))
+
+    orchestrator = FleetOrchestrator(
+        schedule,
+        world=world,
+        faults=faults,
+        config=config,
+        observer=obs,
+        watchdog=watchdog,
+        fleet_journal=fleet_journal,
+        journal_factory=journal_factory,
+        crash_after_appends=crash_after_appends,
+        _resume=state,
+    )
+
+    # Rebuild every started-but-unfinished experiment: replay its WAL
+    # into a fresh engine, re-feed the committed slots' deterministic
+    # traffic, and reload the supervisor's restart accounting.
+    replayed = []
+    for name in sorted(state.started):
+        if name in state.outcomes:
+            continue
+        bulkhead = orchestrator.bulkheads[name]
+        manager = RecoveryManager(
+            bulkhead.journal, bulkhead.snapshots, observer=obs
+        )
+        manager.recover(bulkhead.engine)
+        bulkhead.supervisor.restore_counters(
+            state.restarts.get(name, 0), state.restart_times.get(name, [])
+        )
+        replayed.append(name)
+    for row in state.ledger:
+        for name in row.admitted:
+            if name in state.outcomes:
+                continue
+            bulkhead = orchestrator.bulkheads[name]
+            orchestrator.feed.feed(
+                bulkhead.store,
+                name,
+                row.slot,
+                bulkhead.gene.fraction,
+                tuple(sorted(bulkhead.gene.groups)),
+                bulkhead.service,
+                stable=STABLE_VERSION,
+                experimental=EXPERIMENTAL_VERSION,
+                error_delta=world.get(name, 0.0),
+            )
+
+    now = state.cursor * config.slot_seconds
+    orchestrator._append(
+        K_RECOVERED,
+        now,
+        {
+            "cursor": state.cursor,
+            "replayed": replayed,
+            "terminal": sorted(state.outcomes),
+        },
+    )
+    if obs.enabled:
+        obs.emit(
+            FLEET_RECOVERED,
+            now,
+            cursor=state.cursor,
+            replayed=len(replayed),
+            terminal=len(state.outcomes),
+        )
+        obs.metrics.counter("fleet_recoveries_total").increment()
+    return orchestrator

@@ -1,0 +1,96 @@
+"""Deterministic shared-traffic synthesis for fleet slots.
+
+Every admitted experiment observes a slice of the shared traffic: the
+samples a slot contributes are ``fraction × slot_volume × group_share``
+of the profile (Section 3.4's capacity model), scaled down and capped so
+hundred-experiment fleets stay fast.  The feed is a *pure function* of
+``(seed, experiment, slot)`` — it writes the identical samples no matter
+when it is called — which is what makes fleet recovery work: a rebuilt
+orchestrator re-feeds the committed slots into fresh metric stores and
+lands in exactly the state the crashed process had.
+"""
+
+from __future__ import annotations
+
+from repro.fenrir.model import SchedulingProblem
+from repro.simulation.rng import SeededRng
+from repro.telemetry.store import MetricStore
+
+
+class SlotTrafficFeed:
+    """Feeds one slot of synthetic samples into an experiment's store."""
+
+    def __init__(
+        self,
+        problem: SchedulingProblem,
+        seed: int,
+        slot_seconds: float,
+        base_error: float = 0.02,
+        base_latency_ms: float = 100.0,
+        samples_per_volume: float = 0.01,
+        min_samples: int = 4,
+        max_samples: int = 24,
+    ) -> None:
+        self.problem = problem
+        self.seed = seed
+        self.slot_seconds = float(slot_seconds)
+        self.base_error = base_error
+        self.base_latency_ms = base_latency_ms
+        self.samples_per_volume = samples_per_volume
+        self.min_samples = min_samples
+        self.max_samples = max_samples
+
+    def sample_count(self, slot: int, fraction: float, groups: tuple[str, ...]) -> int:
+        """Samples one slot yields an experiment holding *fraction*."""
+        profile = self.problem.profile
+        if not 0 <= slot < profile.num_slots:
+            return 0
+        volume = profile.volume(slot)
+        share = self.problem.group_share(frozenset(groups))
+        raw = volume * share * fraction * self.samples_per_volume
+        return max(self.min_samples, min(self.max_samples, int(raw)))
+
+    def feed(
+        self,
+        store: MetricStore,
+        name: str,
+        slot: int,
+        fraction: float,
+        groups: tuple[str, ...],
+        service: str,
+        stable: str,
+        experimental: str,
+        error_delta: float = 0.0,
+        latency_factor: float = 1.0,
+    ) -> int:
+        """Write slot *slot*'s samples for one experiment; returns count.
+
+        The stable version always observes baseline behaviour; the
+        experimental version carries the world's ground-truth deltas, so
+        the per-experiment check gate has a real signal to act on.
+        """
+        count = self.sample_count(slot, fraction, groups)
+        if count == 0:
+            return 0
+        rng = SeededRng(self.seed).fork(f"feed:{name}:{slot}")
+        t0 = slot * self.slot_seconds
+        step = self.slot_seconds / count
+        exp_error = min(1.0, self.base_error + error_delta)
+        exp_latency = self.base_latency_ms * latency_factor
+        for i in range(count):
+            at = t0 + (i + 0.5) * step
+            for version, err_rate, latency in (
+                (stable, self.base_error, self.base_latency_ms),
+                (experimental, exp_error, exp_latency),
+            ):
+                errored = 1.0 if rng.uniform(0.0, 1.0) < err_rate else 0.0
+                store.record(service, version, "error", at, errored)
+                store.record(
+                    service,
+                    version,
+                    "response_time",
+                    at,
+                    max(1.0, rng.gauss(latency, latency * 0.1)),
+                )
+                store.record(service, version, "throughput", at, 1.0)
+        return count

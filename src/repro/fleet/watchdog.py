@@ -1,0 +1,86 @@
+"""Fleet-level health and deadline supervision.
+
+The watchdog is the fleet's circuit breaker against a degraded
+substrate: when the streaming topology pipeline's overall health score
+(:class:`~repro.topology.streaming.LiveHealthMonitor`) drops below the
+*pause* threshold, no new experiments are admitted; below the *shed*
+threshold the orchestrator starts dropping the lowest-priority running
+experiments — better to finish a few experiments cleanly than to let
+all of them starve on an unhealthy cluster.  A fleet-wide deadline
+(``grace_slots`` past the schedule horizon) bounds how long repeating
+or crash-recovering experiments can hold the fleet open.
+
+Health providers must be deterministic functions of the fleet's own
+state for crash-recovery equality to hold; a provider fed by live
+wall-clock telemetry trades that equality for timeliness, which is the
+right call in production and the wrong one in tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable
+
+from repro.errors import ValidationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.topology.streaming import LiveHealthMonitor
+
+
+@dataclass(frozen=True)
+class WatchdogVerdict:
+    """One slot's supervision verdict.
+
+    Attributes:
+        score: substrate health in [0, 1], or None when unknown.
+        pause: stop admitting new experiments this slot.
+        shed: drop the lowest-priority running experiment this slot.
+    """
+
+    score: float | None
+    pause: bool
+    shed: bool
+
+
+class FleetWatchdog:
+    """Turns a health signal into per-slot pause/shed verdicts."""
+
+    def __init__(
+        self,
+        health_of: Callable[[], float | None] | None = None,
+        pause_below: float = 0.6,
+        shed_below: float = 0.3,
+    ) -> None:
+        if not 0.0 <= shed_below <= pause_below <= 1.0:
+            raise ValidationError(
+                f"need 0 <= shed_below <= pause_below <= 1, got "
+                f"shed_below={shed_below}, pause_below={pause_below}"
+            )
+        self.health_of = health_of
+        self.pause_below = pause_below
+        self.shed_below = shed_below
+
+    @classmethod
+    def from_monitor(
+        cls,
+        monitor: "LiveHealthMonitor",
+        pause_below: float = 0.6,
+        shed_below: float = 0.3,
+    ) -> "FleetWatchdog":
+        """Wire the watchdog to a live topology health monitor."""
+        return cls(
+            health_of=monitor.overall_health,
+            pause_below=pause_below,
+            shed_below=shed_below,
+        )
+
+    def assess(self, slot: int) -> WatchdogVerdict:
+        """Judge the substrate for *slot*; unknown health never trips."""
+        score = self.health_of() if self.health_of is not None else None
+        if score is None:
+            return WatchdogVerdict(score=None, pause=False, shed=False)
+        return WatchdogVerdict(
+            score=score,
+            pause=score < self.pause_below,
+            shed=score < self.shed_below,
+        )

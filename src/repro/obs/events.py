@@ -50,8 +50,22 @@ JOURNAL_SNAPSHOT = "journal.snapshot"
 
 RECOVERY_CRASH = "recovery.crash"
 RECOVERY_RESTART = "recovery.restart"
+RECOVERY_RESTART_FAILED = "recovery.restart_failed"
 RECOVERY_REFUSED = "recovery.refused"
 RECOVERY_REPLAYED = "recovery.replayed"
+
+FLEET_PLANNED = "fleet.planned"
+FLEET_SLOT_STARTED = "fleet.slot_started"
+FLEET_ADMITTED = "fleet.admitted"
+FLEET_QUEUED = "fleet.queued"
+FLEET_SHED = "fleet.shed"
+FLEET_PAUSED = "fleet.paused"
+FLEET_EXPERIMENT_CRASHED = "fleet.experiment_crashed"
+FLEET_EXPERIMENT_RESTARTED = "fleet.experiment_restarted"
+FLEET_EXPERIMENT_OUTCOME = "fleet.experiment_outcome"
+FLEET_SLOT_COMMITTED = "fleet.slot_committed"
+FLEET_RECOVERED = "fleet.recovered"
+FLEET_FINISHED = "fleet.finished"
 
 FENRIR_GENERATION = "fenrir.generation"
 FENRIR_SEARCH_COMPLETED = "fenrir.search_completed"

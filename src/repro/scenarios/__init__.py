@@ -36,6 +36,7 @@ from repro.scenarios.spec import (
     ExperimentSpec,
     FaultSpec,
     FlashCrowdSpec,
+    FleetSpec,
     RegionSpec,
     ResilienceSpec,
     ScenarioSpec,
@@ -53,6 +54,7 @@ __all__ = [
     "ExperimentSpec",
     "FaultSpec",
     "FlashCrowdSpec",
+    "FleetSpec",
     "FuzzReport",
     "INVARIANTS",
     "RegionSpec",

@@ -8,6 +8,7 @@ round-trip and determinism invariants rely on.
 
 from __future__ import annotations
 
+import dataclasses
 from typing import Iterator
 
 from repro.bifrost.model import Check, Phase, PhaseType, Strategy
@@ -33,6 +34,12 @@ from repro.microservices.service import (
     EndpointSpec,
     ServiceVersion,
 )
+from repro.fenrir.model import (
+    ExperimentSpec as FenrirExperimentSpec,
+    SchedulingProblem,
+)
+from repro.fenrir.schedule import Gene, Schedule
+from repro.fleet.orchestrator import ExperimentFaults, FleetConfig
 from repro.scenarios.spec import (
     EXPERIMENTAL_VERSION,
     STABLE_VERSION,
@@ -49,7 +56,7 @@ from repro.simulation.latency import (
     LogNormalLatency,
     ParetoLatency,
 )
-from repro.traffic.profile import DEFAULT_GROUPS
+from repro.traffic.profile import DEFAULT_GROUPS, TrafficProfile, UserGroup
 from repro.traffic.users import UserPopulation
 from repro.traffic.workload import Request, WorkloadGenerator
 
@@ -274,6 +281,82 @@ def apply_deploy(spec: ScenarioSpec, app: Application, fault: FaultSpec) -> None
         ),
         stable=True,
     )
+
+
+def build_fleet_plan(
+    spec: ScenarioSpec,
+) -> tuple[Schedule, dict[str, float], dict[str, "ExperimentFaults"], FleetConfig]:
+    """Materialize the spec's fleet block into an executable fleet plan.
+
+    Returns ``(schedule, world, faults, config)`` ready for
+    :class:`~repro.fleet.orchestrator.FleetOrchestrator`.  Genes are laid
+    out in back-to-back waves of ``fleet.wave`` experiments, and the
+    per-experiment traffic fraction is capped at ``budget / (2 * wave)``:
+    even if a whole wave overruns into the next (phase repeats, crash
+    restarts), at most two waves hold traffic concurrently, so admission
+    never has to queue.  That feasibility-by-construction is what makes
+    the ``fleet_isolation`` invariant sound — in a feasible plan every
+    non-faulted experiment starts at its planned slot in both the faulted
+    and the fault-free twin, so any outcome difference *is* a bulkhead
+    leak, not an admission artifact.
+    """
+    fleet = spec.fleet
+    if not fleet.enabled:
+        raise ConfigurationError(f"scenario {spec.name!r} has no fleet block")
+    names = [f"exp{i:03d}" for i in range(fleet.experiments)]
+    waves = (fleet.experiments + fleet.wave - 1) // fleet.wave
+    looper_duration = fleet.duration_slots + fleet.restart_max + 1
+    horizon = waves * fleet.duration_slots + looper_duration + 1
+    fraction = min(fleet.base_fraction, fleet.budget / (2 * fleet.wave))
+    groups = frozenset({"all"})
+    profile = TrafficProfile([40_000.0] * horizon, [UserGroup("all", 1.0)])
+    specs = [
+        FenrirExperimentSpec(
+            name=name,
+            required_samples=100.0,
+            min_traffic_fraction=min(0.01, fraction),
+            max_traffic_fraction=1.0,
+            max_duration_slots=looper_duration,
+            weight=1.0 + (i % 3) * 0.25,
+        )
+        for i, name in enumerate(names)
+    ]
+    genes = [
+        Gene(
+            start=(i // fleet.wave) * fleet.duration_slots,
+            # The crash-looper's gene outlives its restart budget, so a
+            # persistent looper is shed instead of limping to a verdict.
+            duration=(
+                looper_duration if i == fleet.crash_looper
+                else fleet.duration_slots
+            ),
+            fraction=fraction,
+            groups=groups,
+        )
+        for i in range(fleet.experiments)
+    ]
+    schedule = Schedule(SchedulingProblem(profile, specs), genes)
+    world: dict[str, float] = {}
+    if fleet.bad_experiment >= 0:
+        world[names[fleet.bad_experiment]] = fleet.error_delta
+    faults: dict[str, ExperimentFaults] = {}
+    if fleet.crash_looper >= 0:
+        faults[names[fleet.crash_looper]] = ExperimentFaults(crash_loop=True)
+    if fleet.poisoned >= 0:
+        start = genes[fleet.poisoned].start
+        existing = faults.get(names[fleet.poisoned], ExperimentFaults())
+        faults[names[fleet.poisoned]] = dataclasses.replace(
+            existing, poison_slots=(start, start + 1)
+        )
+    config = FleetConfig(
+        slot_seconds=fleet.slot_seconds,
+        budget=fleet.budget,
+        grace_slots=fleet.grace_slots,
+        restart_max=fleet.restart_max,
+        bulkheads=fleet.bulkheads,
+        seed=spec.seed,
+    )
+    return schedule, world, faults, config
 
 
 def build_population(spec: ScenarioSpec, size: int = 300) -> UserPopulation:

@@ -27,6 +27,7 @@ from repro.scenarios.spec import (
     ExperimentSpec,
     FaultSpec,
     FlashCrowdSpec,
+    FleetSpec,
     RegionSpec,
     ResilienceSpec,
     ScenarioSpec,
@@ -286,6 +287,40 @@ def sample_topology(rng: SeededRng, index: int) -> ScenarioSpec:
     )
 
 
+def sample_fleet(rng: SeededRng, index: int) -> ScenarioSpec:
+    """Whole-fleet runs: one crash-looping bulkhead among healthy peers.
+
+    The service chain is a bystander here — the fleet block drives
+    everything.  Each draw plants a crash-looper, usually a poisoned
+    check, and a genuinely bad experiment, then asks ``fleet_isolation``
+    to prove none of it leaked past the faulted bulkheads.
+    """
+    depth = 2
+    experiments = rng.randint(6, 14)
+    indices = list(range(experiments))
+    looper = rng.choice(indices)
+    poisoned = rng.choice(indices) if rng.random() < 0.7 else -1
+    bad = rng.choice(indices) if rng.random() < 0.7 else -1
+    return _spec(
+        f"fleet-{index}",
+        seed=rng.randint(0, 2**31 - 1),
+        services=_chain(rng, depth),
+        experiment=_experiment(rng, depth, service="svc0"),
+        fleet=FleetSpec(
+            experiments=experiments,
+            slot_seconds=rng.uniform(20.0, 40.0),
+            base_fraction=rng.uniform(0.04, 0.12),
+            duration_slots=rng.randint(2, 3),
+            wave=rng.randint(3, 5),
+            crash_looper=looper,
+            poisoned=poisoned,
+            bad_experiment=bad,
+            error_delta=rng.uniform(0.2, 0.4),
+            restart_max=rng.randint(1, 3),
+        ),
+    )
+
+
 @dataclass(frozen=True)
 class Archetype:
     """One adversarial scenario family and the invariants it stresses."""
@@ -304,6 +339,7 @@ ARCHETYPES: tuple[Archetype, ...] = (
     Archetype("deploy_mid", sample_deploy_mid, ("recovery_equivalence",)),
     Archetype("crashy", sample_crashy, ("recovery_equivalence",)),
     Archetype("topology", sample_topology, ("ranking_floor",)),
+    Archetype("fleet", sample_fleet, ("fleet_isolation",)),
 )
 
 ARCHETYPES_BY_NAME = {a.name: a for a in ARCHETYPES}
@@ -422,6 +458,36 @@ def _shrink_candidates(spec: ScenarioSpec) -> list[ScenarioSpec]:
                 ),
             )
         )
+    # Smaller fleets: halve the experiment count (keeping every faulted
+    # index alive by clamping it into the shrunken range), then try
+    # dropping each injected fault outright.
+    if spec.fleet.enabled and spec.fleet.experiments > 4:
+        half = spec.fleet.experiments // 2
+
+        def _clamp(idx: int) -> int:
+            return min(idx, half - 1) if idx >= 0 else -1
+
+        candidates.append(
+            _replace(
+                spec,
+                fleet=dataclasses.replace(
+                    spec.fleet,
+                    experiments=half,
+                    crash_looper=_clamp(spec.fleet.crash_looper),
+                    poisoned=_clamp(spec.fleet.poisoned),
+                    bad_experiment=_clamp(spec.fleet.bad_experiment),
+                ),
+            )
+        )
+    if spec.fleet.enabled:
+        for label in ("crash_looper", "poisoned", "bad_experiment"):
+            if getattr(spec.fleet, label) >= 0:
+                candidates.append(
+                    _replace(
+                        spec,
+                        fleet=dataclasses.replace(spec.fleet, **{label: -1}),
+                    )
+                )
     return [c for c in candidates if c is not None]
 
 

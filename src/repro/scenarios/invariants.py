@@ -16,6 +16,10 @@ promise one layer of the stack makes to the others:
   a floor on generated topologies with known mutation logs.
 - ``cascade_cap``: fallback call policies must cap how deep failures
   cascade through the dependency chain.
+- ``fleet_isolation``: faults injected into one experiment of a fleet
+  (crash loops, poisoned checks) must stay inside that experiment's
+  bulkhead — every other experiment's outcome matches a fault-free twin
+  run, no slot over-admits traffic, and shed experiments are reported.
 
 A violated invariant yields a :class:`Violation` carrying a digest —
 a stable fingerprint the regression corpus replays against.
@@ -320,6 +324,72 @@ def cascade_cap_of(spec: ScenarioSpec) -> int | None:
     return max(caps)
 
 
+def check_fleet_isolation(
+    spec: ScenarioSpec, observer: Observer | None = None
+) -> Violation | None:
+    """Faults in one fleet bulkhead must not contaminate the others.
+
+    Runs the spec's fleet plan twice — once with the injected faults,
+    once fault-free — and demands (1) every planned experiment appears in
+    the outcomes (shed is a reported outcome, never a silent drop),
+    (2) no committed slot's admitted usage exceeds the traffic budget,
+    and (3) every *non-faulted* experiment reaches the identical outcome
+    in both runs.  The factory builds feasible plans (fraction capped at
+    ``budget / (2·wave)``), so admission never defers and condition (3)
+    is exact, not probabilistic.  ``bulkheads=False`` is the designed
+    falsifier: one poisoned check evaluation aborts the whole fleet.
+    """
+    if not spec.fleet.enabled:
+        return None
+    from repro.fleet import FleetOrchestrator, usage_within_budget
+    from repro.scenarios.factory import build_fleet_plan
+
+    schedule, world, faults, config = build_fleet_plan(spec)
+    faulted = FleetOrchestrator(
+        schedule, world=world, faults=faults, config=config, observer=observer
+    ).run()
+    clean = FleetOrchestrator(
+        schedule, world=world, faults={}, config=config
+    ).run()
+
+    names = [s.name for s, _ in schedule]
+    missing = sorted(n for n in names if n not in faulted.outcomes)
+    if missing:
+        return Violation(
+            invariant="fleet_isolation",
+            spec=spec,
+            detail=f"experiments dropped without a reported outcome: {missing}",
+            digest=("fleet_isolation", "missing", tuple(missing)),
+        )
+    for row in faulted.ledger:
+        if not usage_within_budget(dict(row.usage), config.budget):
+            return Violation(
+                invariant="fleet_isolation",
+                spec=spec,
+                detail=(
+                    f"slot {row.slot} admitted usage {dict(row.usage)} "
+                    f"exceeds budget {config.budget}"
+                ),
+                digest=("fleet_isolation", "over_admitted", row.slot),
+            )
+    contaminated = tuple(
+        (n, clean.outcomes[n], faulted.outcomes[n])
+        for n in names
+        if n not in faults and faulted.outcomes[n] != clean.outcomes[n]
+    )
+    if contaminated:
+        return Violation(
+            invariant="fleet_isolation",
+            spec=spec,
+            detail=(
+                "non-faulted experiments changed outcome under injected "
+                f"faults: {contaminated}"
+            ),
+            digest=("fleet_isolation", "contaminated", contaminated),
+        )
+    return None
+
+
 #: Registry the fuzzer iterates over: name -> check function.
 INVARIANTS: dict[str, Callable[..., Violation | None]] = {
     "promotion_truth": check_promotion_truth,
@@ -327,6 +397,7 @@ INVARIANTS: dict[str, Callable[..., Violation | None]] = {
     "recovery_equivalence": check_recovery_equivalence,
     "ranking_floor": check_ranking_floor,
     "cascade_cap": check_cascade_cap,
+    "fleet_isolation": check_fleet_isolation,
 }
 
 
@@ -352,6 +423,7 @@ __all__ = [
     "Violation",
     "cascade_cap_of",
     "check_cascade_cap",
+    "check_fleet_isolation",
     "check_gating_before_slo",
     "check_invariant",
     "check_promotion_truth",

@@ -273,6 +273,64 @@ class TopologySpec:
 
 
 @dataclass(frozen=True)
+class FleetSpec:
+    """Fleet-orchestration block (disabled unless ``experiments > 0``).
+
+    When enabled, the scenario carries a whole Fenrir plan executed as a
+    fleet of supervised Bifrost engines (``repro.fleet``): *experiments*
+    genes laid out in back-to-back waves of *wave*, each holding
+    *base_fraction* of shared traffic for *duration_slots* slots.  The
+    fraction is capped at ``budget / (2 * wave)`` by the factory so the
+    plan stays feasible even when faulted experiments overrun — which is
+    what lets the ``fleet_isolation`` invariant compare faulted and
+    fault-free twins outcome-by-outcome.
+    """
+
+    experiments: int = 0
+    slot_seconds: float = 30.0
+    budget: float = 1.0
+    base_fraction: float = 0.08
+    duration_slots: int = 2
+    wave: int = 4
+    crash_looper: int = -1
+    poisoned: int = -1
+    bad_experiment: int = -1
+    error_delta: float = 0.3
+    restart_max: int = 2
+    grace_slots: int = 6
+    bulkheads: bool = True
+
+    def __post_init__(self) -> None:
+        _require(self.experiments >= 0, "fleet experiments must be >= 0")
+        if not self.enabled:
+            return
+        _require(self.slot_seconds > 0, "fleet slot_seconds must be > 0")
+        _require(self.budget > 0, "fleet budget must be > 0")
+        _require(
+            0.0 < self.base_fraction <= 1.0,
+            "fleet base_fraction in (0, 1]",
+        )
+        _require(self.duration_slots >= 1, "fleet duration_slots >= 1")
+        _require(self.wave >= 1, "fleet wave must be >= 1")
+        _require(self.restart_max >= 0, "fleet restart_max must be >= 0")
+        _require(self.grace_slots >= 0, "fleet grace_slots must be >= 0")
+        _require(self.error_delta >= 0, "fleet error_delta must be >= 0")
+        for label, idx in (
+            ("crash_looper", self.crash_looper),
+            ("poisoned", self.poisoned),
+            ("bad_experiment", self.bad_experiment),
+        ):
+            _require(
+                -1 <= idx < self.experiments,
+                f"fleet {label} index {idx} out of range",
+            )
+
+    @property
+    def enabled(self) -> bool:
+        return self.experiments > 0
+
+
+@dataclass(frozen=True)
 class ScenarioSpec:
     """One complete adversarial scenario (seeded, serializable)."""
 
@@ -287,6 +345,7 @@ class ScenarioSpec:
     resilience: ResilienceSpec = field(default_factory=ResilienceSpec)
     slo: SloSpec = field(default_factory=SloSpec)
     topology: TopologySpec = field(default_factory=TopologySpec)
+    fleet: FleetSpec = field(default_factory=FleetSpec)
     run_until: float = 240.0
 
     def __post_init__(self) -> None:
@@ -399,6 +458,8 @@ class ScenarioSpec:
                 resilience=_build(ResilienceSpec, data["resilience"]),
                 slo=_build(SloSpec, data["slo"]),
                 topology=_build(TopologySpec, data["topology"]),
+                # Pre-fleet corpus entries predate this block: default it.
+                fleet=_build(FleetSpec, data.get("fleet") or {}),
                 run_until=data["run_until"],
             )
         except (KeyError, TypeError) as exc:

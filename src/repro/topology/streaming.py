@@ -549,6 +549,15 @@ class LiveHealthMonitor:
         self.last_report: HealthReport | None = None
         builder.subscribe(self._on_update)
 
+    def overall_health(self) -> float | None:
+        """Overall score of the last published report (None before one).
+
+        The accessor downstream supervisors poll — e.g. the fleet
+        watchdog (:mod:`repro.fleet.watchdog`) — without reaching into
+        report internals.
+        """
+        return self.last_report.overall if self.last_report is not None else None
+
     def _on_update(self, trace: Trace, _delta: Multiset[Observation]) -> None:
         timestamp = trace.root.end
         if (

@@ -100,6 +100,32 @@ class TestExamples:
         assert "events by kind:" in out
         assert "scenario.violation_found" in out
 
+    def test_fleet_orchestrator(self):
+        out = run_example("fleet_orchestrator.py")
+        assert "checkout  -> shed (shed: crash_loop)" in out
+        assert "payments  -> rolled_back" in out
+        assert "recovered run matches uncrashed run: True" in out
+        assert "revived for a fresh attempt: checkout" in out
+
+    def test_fleet_scale_bench_smoke(self):
+        env = dict(os.environ, FLEET_SMOKE="1", PYTHONPATH=str(REPO / "src"))
+        result = subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "pytest",
+                str(REPO / "benchmarks" / "test_fleet_scale.py"),
+                "-q",
+            ],
+            capture_output=True,
+            text=True,
+            timeout=240.0,
+            env=env,
+        )
+        assert result.returncode == 0, result.stdout[-2000:] + result.stderr[-2000:]
+        artifact = REPO / "benchmarks" / "output" / "BENCH_fleet_scale.json"
+        assert artifact.exists()
+
     def test_scenario_fuzz_bench_smoke(self):
         env = dict(
             os.environ, SCENARIO_FUZZ_SMOKE="1", PYTHONPATH=str(REPO / "src")

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.fenrir import Fenrir, GeneticAlgorithm, LocalSearch, reevaluate
-from repro.fenrir.reevaluation import build_reevaluation
+from repro.fenrir.reevaluation import build_reevaluation, build_reevaluation_from_fleet
 from tests.unit.test_fenrir_model import make_spec
 
 
@@ -104,3 +104,117 @@ class TestReevaluate:
         )
         initial_eval = evaluate(plan.initial)
         assert result.best_evaluation.penalized >= initial_eval.penalized - 1e-9
+
+
+class TestBuildReevaluationFromFleet:
+    """Closing the loop with real fleet outcomes (PR 7)."""
+
+    @pytest.fixture
+    def fleet_schedule(self, profile):
+        specs = [
+            make_spec("won", required_samples=400, earliest_start=0),
+            make_spec("lost", required_samples=400, earliest_start=0),
+            make_spec("shed", required_samples=400, earliest_start=0),
+            make_spec("murky", required_samples=400, earliest_start=0),
+            make_spec("running", required_samples=400, earliest_start=0),
+            make_spec("future", required_samples=400, earliest_start=5),
+        ]
+        result = Fenrir(GeneticAlgorithm(population_size=12)).schedule(
+            profile, specs, budget=500, seed=7
+        )
+        return result.schedule
+
+    def test_decided_outcomes_drop_out(self, fleet_schedule):
+        plan = build_reevaluation_from_fleet(
+            fleet_schedule,
+            now_slot=4,
+            outcomes={
+                "won": "promoted",
+                "lost": "rolled_back",
+                "shed": "shed",
+                "murky": "inconclusive",
+            },
+        )
+        names = [s.name for s in plan.problem.experiments]
+        assert "won" not in names
+        assert "lost" not in names
+        assert sorted(plan.finished) == ["lost", "won"]
+
+    def test_undecided_outcomes_revived_from_now(self, fleet_schedule):
+        now = 4
+        plan = build_reevaluation_from_fleet(
+            fleet_schedule,
+            now_slot=now,
+            outcomes={
+                "won": "promoted",
+                "shed": "shed",
+                "murky": "inconclusive",
+            },
+        )
+        names = [s.name for s in plan.problem.experiments]
+        assert sorted(plan.revived) == ["murky", "shed"]
+        for name in plan.revived:
+            index = names.index(name)
+            assert plan.problem.experiments[index].earliest_start >= now
+            assert plan.initial.genes[index].start >= now
+            # Revived experiments are re-planned, never locked.
+            assert index not in plan.locked
+
+    def test_absent_running_locked_absent_future_replanned(self, fleet_schedule):
+        running = fleet_schedule.gene_of("running")
+        now = running.start + 1
+        plan = build_reevaluation_from_fleet(
+            fleet_schedule, now_slot=now, outcomes={"won": "promoted"}
+        )
+        names = [s.name for s in plan.problem.experiments]
+        if running.end > now:
+            index = names.index("running")
+            assert index in plan.locked
+            assert plan.initial.genes[index] == running
+        future_index = names.index("future")
+        assert future_index not in plan.locked
+        assert plan.initial.genes[future_index].start >= now
+
+    def test_unknown_experiment_rejected(self, fleet_schedule):
+        from repro.errors import ValidationError
+
+        with pytest.raises(ValidationError):
+            build_reevaluation_from_fleet(
+                fleet_schedule, now_slot=1, outcomes={"ghost": "promoted"}
+            )
+
+    def test_unknown_outcome_rejected(self, fleet_schedule):
+        from repro.errors import ValidationError
+
+        with pytest.raises(ValidationError):
+            build_reevaluation_from_fleet(
+                fleet_schedule, now_slot=1, outcomes={"won": "exploded"}
+            )
+
+    def test_new_experiments_get_genes(self, fleet_schedule):
+        plan = build_reevaluation_from_fleet(
+            fleet_schedule,
+            now_slot=2,
+            outcomes={"won": "promoted"},
+            new_experiments=[make_spec("fresh", required_samples=300)],
+        )
+        names = [s.name for s in plan.problem.experiments]
+        assert "fresh" in names
+        assert len(plan.initial.genes) == len(names)
+
+    def test_feeds_reoptimization(self, fleet_schedule):
+        plan = build_reevaluation_from_fleet(
+            fleet_schedule,
+            now_slot=3,
+            outcomes={"won": "promoted", "shed": "shed"},
+        )
+        result = LocalSearch(stall_limit=40).optimize(
+            plan.problem,
+            budget=300,
+            seed=5,
+            initial=plan.initial,
+            locked=plan.locked,
+        )
+        assert result.best_evaluation is not None
+        for index in plan.locked:
+            assert result.best_schedule.genes[index] == plan.initial.genes[index]

@@ -264,3 +264,95 @@ class TestDeadlineAcrossRestart:
         assert deadline_transitions and deadline_transitions[0].time == pytest.approx(
             101.0
         )
+
+
+class TestRestartPolicyWindow:
+    """The sliding restart budget (PR 7): old crashes age out."""
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValidationError):
+            RestartPolicy(max_restarts=-1)
+        with pytest.raises(ValidationError):
+            RestartPolicy(window_seconds=0.0)
+        with pytest.raises(ValidationError):
+            RestartPolicy(window_seconds=-5.0)
+
+    def test_lifetime_budget_counts_all_history(self):
+        policy = RestartPolicy(max_restarts=2)
+        assert policy.charged([1.0, 2.0], now=1e9) == 2
+        assert not policy.allows([1.0, 2.0], now=1e9)
+
+    def test_window_expires_old_restarts(self):
+        policy = RestartPolicy(max_restarts=2, window_seconds=10.0)
+        times = [1.0, 2.0]
+        assert policy.charged(times, now=5.0) == 2
+        assert not policy.allows(times, now=5.0)
+        # At now=12.0 the cutoff is 2.0: the restart *at* 2.0 has aged out.
+        assert policy.charged(times, now=12.0) == 0
+        assert policy.allows(times, now=12.0)
+
+    def test_supervisor_budget_refills_after_window(self, canary_app):
+        bifrost = Bifrost(
+            canary_app,
+            durable=True,
+            restart_policy=RestartPolicy(max_restarts=1, window_seconds=10.0),
+        )
+        supervisor = bifrost.supervisor
+        supervisor.crash(1.0)
+        supervisor.restart(2.0)
+        assert supervisor.restarts == 1
+        supervisor.crash(3.0)
+        supervisor.restart(4.0)  # still inside the window: refused
+        assert supervisor.gave_up
+        assert supervisor.restarts == 1
+        assert supervisor.budget_remaining(4.0) == 0
+        supervisor.restart(20.0)  # the 2.0 restart has aged out
+        assert supervisor.restarts == 2
+        assert supervisor.engine.alive
+
+    def test_restore_counters_survives_supervisor_rebuild(self, canary_app):
+        policy = RestartPolicy(max_restarts=3)
+        bifrost = Bifrost(canary_app, durable=True, restart_policy=policy)
+        supervisor = bifrost.supervisor
+        supervisor.restore_counters(2, [5.0, 6.0])
+        assert supervisor.restarts == 2
+        assert supervisor.budget_remaining(7.0) == 1
+        supervisor.crash(8.0)
+        supervisor.restart(9.0)
+        assert supervisor.restarts == 3
+        supervisor.crash(10.0)
+        supervisor.restart(11.0)
+        assert supervisor.gave_up
+
+    def test_factory_failure_consumes_attempt_and_leaves_engine_dead(self):
+        from repro.bifrost.recovery import EngineSupervisor
+
+        class _FakeSim:
+            now = 0.0
+
+        class _FakeEngine:
+            def __init__(self):
+                self.alive = True
+                self.simulation = _FakeSim()
+
+            def kill(self):
+                self.alive = False
+
+        calls = {"n": 0}
+
+        def factory():
+            calls["n"] += 1
+            if calls["n"] > 1:
+                raise RuntimeError("flaky infra")
+            return _FakeEngine()
+
+        supervisor = EngineSupervisor(
+            factory, Journal(), policy=RestartPolicy(max_restarts=2)
+        )
+        supervisor.crash(1.0)
+        supervisor.restart(2.0)
+        assert supervisor.restart_failures == 1
+        assert supervisor.restarts == 1  # the attempt was consumed
+        assert not supervisor.engine.alive
+        assert not supervisor.gave_up
+        assert supervisor.budget_remaining(2.0) == 1
