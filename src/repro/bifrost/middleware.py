@@ -118,6 +118,7 @@ class Bifrost:
                 observer=self.observer,
             )
         self.outcomes: list[RequestOutcome] = []
+        self.campaigns: list[FaultCampaign] = []
         self.live_health: "LiveHealthMonitor | None" = None
         self.streaming_builder: "StreamingGraphBuilder | None" = None
 
@@ -160,6 +161,7 @@ class Bifrost:
                 "EngineCrash faults need a durable middleware "
                 "(Bifrost(durable=True)) or an explicit crash target"
             )
+        self.campaigns.append(campaign)
         return campaign.install(self.simulation)
 
     def enable_live_health(
@@ -233,6 +235,35 @@ class Bifrost:
             self.simulation.run_until(until)
         self.outcomes.extend(produced)
         return produced
+
+    def run_batches(
+        self,
+        batches: "Iterable",
+        until: float | None = None,
+        options=None,
+    ):
+        """Replay columnar request batches through the batch kernel.
+
+        The high-throughput sibling of :meth:`run`: takes
+        :class:`~repro.traffic.batch.RequestBatch` chunks (from a
+        :class:`~repro.traffic.batch.BatchWorkloadGenerator`) and returns
+        a :class:`~repro.simulation.batch.BatchRunResult`.  Engine events
+        interleave with requests exactly as in :meth:`run`; slices the
+        fast path cannot reproduce bit-identically (active fault
+        campaigns, resilience policies, shadow routes, ...) fall back to
+        the scalar path automatically.  Unlike :meth:`run`, per-request
+        outcomes are not retained — see ``docs/PERF_KERNEL.md``.
+        """
+        from repro.simulation.batch import run_batches
+
+        return run_batches(
+            self.simulation,
+            self.runtime,
+            batches,
+            until=until,
+            campaigns=tuple(self.campaigns),
+            options=options,
+        )
 
     def run_until_settled(
         self,

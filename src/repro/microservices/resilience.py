@@ -274,6 +274,22 @@ class ResilienceLayer:
         self.events: list[ResilienceEvent] = []
         self._subscribers: list[Callable[[ResilienceEvent], None]] = []
 
+    @property
+    def passthrough(self) -> bool:
+        """True when the layer cannot influence any call.
+
+        No policies registered at any scope and no breaker config means
+        ``policy_for`` always returns None, ``admit`` always allows, and
+        ``observe`` is a no-op — the precondition for the batch execution
+        kernel's fast path, which skips these hooks entirely.
+        """
+        return (
+            self.breaker_config is None
+            and self._default_policy is None
+            and not self._service_policies
+            and not self._endpoint_policies
+        )
+
     # -- policy registry ---------------------------------------------------
 
     def set_policy(

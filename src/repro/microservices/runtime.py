@@ -122,6 +122,15 @@ class LoadTracker:
         rate = count / self.window_seconds
         return rate / capacity_rps if capacity_rps > 0 else 0.0
 
+    def arrivals_for(self, service: str, version: str) -> deque[float]:
+        """The raw arrival deque of (service, version), created on demand.
+
+        The batch execution kernel maintains this deque inline (append +
+        expire + count, exactly :meth:`observe`'s bookkeeping) so scalar
+        and batch slices share one continuous load window.
+        """
+        return self._arrivals.setdefault((service, version), deque())
+
 
 @dataclass(frozen=True)
 class RequestOutcome:
@@ -163,6 +172,45 @@ class Runtime:
         self.network = network
         self._trace_counter = itertools.count(1)
         self.requests_executed = 0
+
+    # -- batch fast-path hooks ---------------------------------------------
+
+    def fast_path_blockers(self) -> list[str]:
+        """Runtime-level reasons the batch kernel must not bypass ``_call``.
+
+        Empty means every per-hop hook this runtime would invoke is a
+        no-op: no resilience policies or breakers, and no network gate
+        that could fail a link.  The batch driver combines these with
+        its own slice-level checks (routes, campaigns, subscribers).
+        """
+        reasons: list[str] = []
+        if not self.resilience.passthrough:
+            reasons.append("resilience-policies")
+        if self.network is not None:
+            partitions = getattr(self.network, "partitions", None)
+            if partitions is None:
+                # Unknown gate implementation: can't prove it inert.
+                reasons.append("network-gate")
+            elif partitions:
+                reasons.append("network-partitions")
+        return reasons
+
+    def next_trace_id(self) -> str:
+        """Allocate the next trace id (shared scalar/batch numbering)."""
+        return f"t{next(self._trace_counter):09d}"
+
+    def advance_trace_ids(self, count: int) -> None:
+        """Consume *count* trace ids in O(1).
+
+        The batch kernel's non-recording mode doesn't build traces but
+        still burns one id per request, so a scalar request executed
+        after a batch run gets the same id it would have in an all-scalar
+        replay.
+        """
+        if count <= 0:
+            return
+        base = next(self._trace_counter)
+        self._trace_counter = itertools.count(base + count)
 
     def execute(self, request: Request) -> RequestOutcome:
         """Run *request* through the topology and return its outcome.

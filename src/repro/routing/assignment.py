@@ -12,9 +12,11 @@ from __future__ import annotations
 from collections import Counter
 from typing import Sequence
 
+import numpy as np
+
 from repro.errors import ConfigurationError
 from repro.routing.rules import Variant
-from repro.traffic.users import bucket_user
+from repro.traffic.users import bucket_user, bucket_users
 
 _BUCKETS = 10_000
 
@@ -48,6 +50,48 @@ class StickyAssigner:
         if user_id not in self._seen:
             self._seen.add(user_id)
             self._counts[chosen] += 1
+        return chosen
+
+    def assign_many(
+        self, user_ids: Sequence[str], variants: Sequence[Variant]
+    ) -> list[str]:
+        """Assign many users at once; element *i* equals
+        ``assign(user_ids[i], variants)`` exactly, including the
+        distinct-user bookkeeping.
+
+        Buckets the whole array with one memoized salt midstate, then
+        picks variants via a vectorized threshold search.  The thresholds
+        are accumulated with the same left-to-right float additions as the
+        scalar loop, and the comparison (``bucket < cumulative * buckets``)
+        is exact in float64 for bucket counts this small — so the split is
+        bit-identical, not merely statistically equivalent.
+        """
+        if not variants:
+            raise ConfigurationError("cannot assign across zero variants")
+        buckets = np.asarray(
+            bucket_users(user_ids, self.salt, _BUCKETS), dtype=np.float64
+        )
+        thresholds = []
+        cumulative = 0.0
+        for variant in variants:
+            cumulative += variant.fraction
+            thresholds.append(cumulative * _BUCKETS)
+        # side="right" yields the first threshold strictly above the
+        # bucket — the scalar loop's `bucket < cumulative * _BUCKETS`;
+        # buckets past every threshold fall to the last variant, like the
+        # scalar loop's default.
+        indices = np.searchsorted(
+            np.asarray(thresholds), buckets, side="right"
+        )
+        last = len(variants) - 1
+        versions = [v.version for v in variants]
+        chosen = [versions[min(i, last)] for i in indices.tolist()]
+        seen = self._seen
+        counts = self._counts
+        for user_id, version in zip(user_ids, chosen):
+            if user_id not in seen:
+                seen.add(user_id)
+                counts[version] += 1
         return chosen
 
     def distinct_users(self, version: str) -> int:

@@ -24,7 +24,20 @@ from repro.simulation.latency import (
 )
 from repro.simulation.rng import SeededRng
 
+# Imported last: repro.simulation.batch reaches into modules that
+# themselves import repro.simulation submodules during package init.
+from repro.simulation.batch import (
+    BatchOptions,
+    BatchRunResult,
+    FloatRing,
+    run_batches,
+)
+
 __all__ = [
+    "BatchOptions",
+    "BatchRunResult",
+    "FloatRing",
+    "run_batches",
     "SimulationClock",
     "EventQueue",
     "ScheduledEvent",

@@ -1,0 +1,911 @@
+"""The batch execution kernel: million-request replay on the scalar semantics.
+
+:func:`run_batches` replays columnar :class:`~repro.traffic.batch.RequestBatch`
+chunks against a :class:`~repro.microservices.runtime.Runtime`, interleaved
+with simulation-engine events exactly like the scalar
+``Bifrost.run`` loop — but between events it executes whole *slices* of
+requests through a compiled fast path instead of materializing one
+``Request``/``Span``/``RequestOutcome`` object chain per arrival.
+
+Equivalence contract (property-tested in
+``tests/property/test_batch_equivalence.py``):
+
+- The scalar path is the source of truth.  The kernel consumes the
+  runtime's RNG stream in exactly the scalar draw order per hop
+  (latency sample, error draw, per-probabilistic-call draw), maintains
+  the same load-tracker deques, performs the same float arithmetic in
+  the same association order, and feeds the same (timestamp, value)
+  sequences into the metric store — so routing decisions, metric
+  aggregates, and therefore every promotion/abort decision an engine
+  makes on top of them are bit-identical, not statistically close.
+- Anything the fast path cannot reproduce exactly — resilience
+  policies, open-ended network gates, active fault campaigns, shadow
+  routes, header audiences, trace subscribers — is detected *per
+  slice* and that slice falls back to the scalar path wholesale
+  (:class:`BatchRunResult` counts slices and reasons).  Event
+  boundaries delimit slices, and all of those conditions only change
+  at events, so a condition can never flip mid-slice.
+
+Memory behaviour: the kernel buffers per-(service, version) metric
+columns in plain lists and flushes them with
+:meth:`~repro.telemetry.store.MetricStore.extend` at slice ends (the
+store keeps samples in ``array('d')`` columns), and recent request
+durations go into a fixed-size :class:`FloatRing` — so a ten-million
+request replay holds O(slice) transient state, not O(run).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError, ExecutionError
+from repro.simulation.latency import (
+    ConstantLatency,
+    LoadSensitiveLatency,
+    LogNormalLatency,
+    ParetoLatency,
+)
+from repro.tracing.span import Span, next_span_id
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.microservices.faults import FaultCampaign
+    from repro.microservices.runtime import Runtime
+    from repro.simulation.engine import SimulationEngine
+    from repro.traffic.batch import RequestBatch
+
+#: Mirrors ``repro.microservices.runtime._MAX_CALL_DEPTH`` (not imported
+#: at module level to keep package initialization acyclic).
+_MAX_CALL_DEPTH = 32
+
+#: Default capacity of the recent-durations ring on :class:`BatchRunResult`.
+DEFAULT_RING_CAPACITY = 65_536
+
+
+class FloatRing:
+    """Fixed-capacity float ring buffer with vectorized bulk pushes.
+
+    Backed by one preallocated float64 array; pushes past the capacity
+    overwrite the oldest samples.  ``push_many`` writes a whole chunk
+    with at most two slice assignments (wraparound), which is what lets
+    the batch kernel keep "recent durations" for a million-request run
+    without ever growing a list.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ConfigurationError("ring capacity must be positive")
+        self.capacity = capacity
+        self._buffer = np.zeros(capacity, dtype=np.float64)
+        self._pushed = 0
+
+    def push(self, value: float) -> None:
+        """Append one sample, evicting the oldest when full."""
+        self._buffer[self._pushed % self.capacity] = value
+        self._pushed += 1
+
+    def push_many(self, values: Sequence[float] | np.ndarray) -> None:
+        """Append a chunk of samples in one or two slice writes."""
+        chunk = np.asarray(values, dtype=np.float64)
+        n = len(chunk)
+        if n == 0:
+            return
+        capacity = self.capacity
+        if n >= capacity:
+            # Everything currently retained is evicted; store the chunk's
+            # tail rotated so the oldest sample sits where the post-push
+            # counter says it should.
+            self._pushed += n
+            start = self._pushed % capacity
+            tail = chunk[-capacity:]
+            self._buffer[start:] = tail[: capacity - start]
+            self._buffer[:start] = tail[capacity - start :]
+            return
+        start = self._pushed % capacity
+        end = start + n
+        if end <= capacity:
+            self._buffer[start:end] = chunk
+        else:
+            split = capacity - start
+            self._buffer[start:] = chunk[:split]
+            self._buffer[: end - capacity] = chunk[split:]
+        self._pushed += n
+
+    def __len__(self) -> int:
+        return min(self._pushed, self.capacity)
+
+    @property
+    def total_pushed(self) -> int:
+        """How many samples were ever pushed (including evicted ones)."""
+        return self._pushed
+
+    def values(self) -> np.ndarray:
+        """Retained samples, oldest first (a copy)."""
+        if self._pushed <= self.capacity:
+            return self._buffer[: self._pushed].copy()
+        start = self._pushed % self.capacity
+        return np.concatenate((self._buffer[start:], self._buffer[:start]))
+
+
+@dataclass(frozen=True)
+class BatchOptions:
+    """Tuning knobs of :func:`run_batches`.
+
+    Attributes:
+        record_traces: when True, the fast path materializes real spans
+            and feeds the trace collector per request (slower, but the
+            traces are bit-identical to the scalar path's); when False
+            (default), traces are skipped entirely and only metrics are
+            recorded — trace ids are still consumed so later scalar
+            requests keep their scalar-run ids.
+        ring_capacity: size of the recent-durations ring on the result.
+    """
+
+    record_traces: bool = False
+    ring_capacity: int = DEFAULT_RING_CAPACITY
+
+
+@dataclass
+class BatchRunResult:
+    """Aggregate outcome of one :func:`run_batches` replay."""
+
+    requests: int = 0
+    errors: int = 0
+    duration_sum_ms: float = 0.0
+    fast_requests: int = 0
+    fallback_requests: int = 0
+    fast_slices: int = 0
+    fallback_slices: int = 0
+    fallback_reasons: Counter = field(default_factory=Counter)
+    recent_durations: FloatRing = field(
+        default_factory=lambda: FloatRing(DEFAULT_RING_CAPACITY)
+    )
+
+    @property
+    def mean_duration_ms(self) -> float:
+        """Mean end-user duration across every executed request."""
+        return self.duration_sum_ms / self.requests if self.requests else 0.0
+
+    @property
+    def error_rate(self) -> float:
+        """Fraction of executed requests that failed."""
+        return self.errors / self.requests if self.requests else 0.0
+
+    def _add_fast(self, durations: list, error_count: int) -> None:
+        n = len(durations)
+        self.requests += n
+        self.fast_requests += n
+        self.errors += error_count
+        self.duration_sum_ms += math.fsum(durations)
+        self.recent_durations.push_many(durations)
+
+    def _add_scalar(self, duration_ms: float, error: bool) -> None:
+        self.requests += 1
+        self.fallback_requests += 1
+        if error:
+            self.errors += 1
+        self.duration_sum_ms += duration_ms
+        self.recent_durations.push(duration_ms)
+
+
+def _compile_sampler(model, kernel):
+    """Specialize one latency model into ``(sample(load) -> ms, needs_load)``.
+
+    Known model types bind their parameters and the raw RNG method
+    directly (skipping attribute lookups and the :class:`SeededRng`
+    delegation layer); unknown subclasses fall back to generic
+    ``model.sample(rng, load)`` dispatch, conservatively marked
+    load-dependent.  Either way the *draws* are the scalar path's.
+    """
+    kind = type(model)
+    if kind is ConstantLatency:
+        value = model.value_ms
+        return (lambda load, _v=value: _v), False
+    if kind is LogNormalLatency:
+        if model.sigma == 0:
+            value = model.median_ms
+            return (lambda load, _v=value: _v), False
+        draw = kernel.raw.lognormvariate
+        return (
+            lambda load, _d=draw, _mu=model._mu, _s=model.sigma: _d(_mu, _s)
+        ), False
+    if kind is ParetoLatency:
+        draw = kernel.raw.paretovariate
+        return (
+            lambda load, _d=draw, _sc=model.scale_ms, _a=model.alpha: _sc * _d(_a)
+        ), False
+    if kind is LoadSensitiveLatency:
+        # Flatten the common base models into a single closure — the
+        # per-hop call chain (wrapper -> base -> SeededRng -> Random) is
+        # measurable at millions of samples.  Float semantics match the
+        # scalar path: base sample first, then multiply by the inflation.
+        base = model.base
+        base_kind = type(base)
+        pressure = model.pressure
+        if base_kind is LogNormalLatency and base.sigma != 0:
+            draw = kernel.raw.lognormvariate
+
+            def sample(load, _d=draw, _mu=base._mu, _s=base.sigma, _p=pressure):
+                return _d(_mu, _s) * (1.0 + _p * max(0.0, load - 1.0))
+
+            return sample, True
+        if base_kind is ConstantLatency or base_kind is LogNormalLatency:
+            value = (
+                base.value_ms if base_kind is ConstantLatency else base.median_ms
+            )
+
+            def sample(load, _v=value, _p=pressure):
+                return _v * (1.0 + _p * max(0.0, load - 1.0))
+
+            return sample, True
+        if base_kind is ParetoLatency:
+            draw = kernel.raw.paretovariate
+
+            def sample(
+                load, _d=draw, _sc=base.scale_ms, _a=base.alpha, _p=pressure
+            ):
+                return _sc * _d(_a) * (1.0 + _p * max(0.0, load - 1.0))
+
+            return sample, True
+        inner, _ = _compile_sampler(base, kernel)
+
+        def sample(load, _inner=inner, _p=pressure):
+            return _inner(load) * (1.0 + _p * max(0.0, load - 1.0))
+
+        return sample, True
+    seeded = kernel.seeded
+    return (lambda load, _m=model, _rng=seeded: _m.sample(_rng, load)), True
+
+
+# Node record layout (plain list: index access beats attribute access in
+# the per-hop loop).  One node per (service, endpoint, version).
+_N_SAMPLE = 0  # compiled latency sampler: load -> ms
+_N_ERROR_RATE = 1  # endpoint error probability
+_N_CHILDREN = 2  # tuple of (probability, service, endpoint) descriptors
+_N_PARALLEL = 3  # fan-out vs sequential children
+_N_ARRIVALS = 4  # the runtime LoadTracker's deque for this version
+_N_CAPACITY = 5  # deployed capacity in rps
+_N_TS_BUF = 6  # buffered span start times
+_N_DUR_BUF = 7  # buffered span durations
+_N_ERR_BUF = 8  # buffered span error flags
+_N_NEEDS_LOAD = 9  # whether the sampler reads the load value
+_N_PROXY_MS = 10  # per-hop proxy overhead (routed services only)
+_N_SERVICE = 11
+_N_VERSION = 12
+_N_ENDPOINT = 13
+
+
+class _SliceKernel:
+    """Compiled execution state for one event-free slice of requests.
+
+    Built fresh per slice: routes, endpoint specs, and fault state only
+    change at engine events (= slice boundaries), so everything resolved
+    here — samplers, error rates, children, variant thresholds — is
+    constant for the slice's lifetime.  Children are resolved *lazily*
+    during execution (descriptors, not node references) so probabilistic
+    call cycles behave exactly like the scalar path: the depth guard
+    trips only when a request actually recurses past the limit.
+    """
+
+    def __init__(self, runtime: "Runtime", router, population) -> None:
+        self._runtime = runtime
+        self._router = router
+        self._app = runtime.application
+        self._proxy_ms = runtime.proxy_overhead_ms
+        self._window = runtime.load.window_seconds
+        self.seeded = runtime.rng
+        self.raw = runtime.rng.raw
+        self._random = self.raw.random
+        self._population = population
+        self._group_codes = population.group_codes()
+        self._nodes: dict = {}
+        self._edges: dict = {}
+        self._route_recs: dict = {}
+        self._buffers: dict = {}
+
+    # -- compilation -------------------------------------------------------
+
+    def entry_edge(self, entry: str):
+        service, _, endpoint = entry.partition(".")
+        if not endpoint:
+            raise ExecutionError(
+                f"request entry must be 'service.endpoint', got {entry!r}"
+            )
+        return self._edge(service, endpoint)
+
+    def _edge(self, service: str, endpoint: str):
+        """An edge is ``(route_record | None, node | {version: node})``."""
+        key = (service, endpoint)
+        edge = self._edges.get(key)
+        if edge is not None:
+            return edge
+        router = self._router
+        route = router.active_route(service) if router is not None else None
+        if route is None:
+            edge = (None, self._node(service, endpoint, None, 0.0))
+        else:
+            rec = self._route_rec(service, route)
+            nodes = {}
+            for variant in route.variants:
+                nodes[variant.version] = self._node(
+                    service, endpoint, variant.version, self._proxy_ms
+                )
+            stable = rec[4]
+            if stable not in nodes:
+                nodes[stable] = self._node(
+                    service, endpoint, stable, self._proxy_ms
+                )
+            edge = (rec, nodes)
+        self._edges[key] = edge
+        return edge
+
+    def _route_rec(self, service: str, route):
+        """Per-service routing record: [memo, assigner, variants, eligible
+        group codes (None = all), stable version]."""
+        rec = self._route_recs.get(service)
+        if rec is None:
+            eligible = None
+            if route.audience.groups:
+                eligible = {
+                    code
+                    for code, name in enumerate(self._population.group_names)
+                    if name in route.audience.groups
+                }
+            assigner = (
+                self._router.assigner(route.experiment) if route.variants else None
+            )
+            stable = self._app.service(service).stable_version
+            rec = [{}, assigner, route.variants, eligible, stable]
+            self._route_recs[service] = rec
+        return rec
+
+    def _node(self, service: str, endpoint: str, version_name: str | None, proxy_ms: float):
+        if version_name is None:
+            version_name = self._app.service(service).stable_version
+        key = (service, endpoint, version_name)
+        node = self._nodes.get(key)
+        if node is not None:
+            return node
+        version = self._app.service(service).get(version_name)
+        spec = version.endpoint(endpoint)
+        sample, needs_load = _compile_sampler(spec.latency, self)
+        buffers = self._buffers.setdefault((service, version_name), ([], [], []))
+        node = [
+            sample,
+            spec.error_rate,
+            tuple((c.probability, c.service, c.endpoint) for c in spec.calls),
+            bool(spec.parallel_calls),
+            self._runtime.load.arrivals_for(service, version_name),
+            version.total_capacity_rps,
+            buffers[0],
+            buffers[1],
+            buffers[2],
+            needs_load,
+            proxy_ms,
+            service,
+            version_name,
+            endpoint,
+        ]
+        self._nodes[key] = node
+        return node
+
+    # -- variant assignment ------------------------------------------------
+
+    def _assign(self, rec, user_index: int, group_code: int) -> str:
+        eligible = rec[3]
+        if eligible is not None and group_code not in eligible:
+            version = rec[4]
+        elif rec[2]:
+            version = rec[1].assign(
+                self._population.user_at(user_index), rec[2]
+            )
+        else:
+            version = rec[4]
+        rec[0][user_index] = version
+        return version
+
+    def prefill_assignments(self, batch: "RequestBatch", lo: int, hi: int) -> None:
+        """Vectorize variant assignment for certainly-reached services.
+
+        For every routed service that *every* request in the slice is
+        guaranteed to traverse (reachable from each present entry point
+        through probability-1.0 calls only, across all servable
+        versions), bucket the slice's distinct users in one
+        :meth:`~repro.routing.assignment.StickyAssigner.assign_many`
+        call.  Probabilistically-reached services keep the lazy per-user
+        path so the assigner's distinct-user bookkeeping only ever sees
+        users the scalar path would have assigned.
+        """
+        router = self._router
+        if router is None:
+            return
+        routed = router.routed_services
+        if not routed:
+            return
+        if len(batch.entries) == 1:
+            present = [batch.entries[0]]
+        else:
+            present = [
+                batch.entries[code]
+                for code in np.unique(batch.entry_codes[lo:hi]).tolist()
+            ]
+        certain: set[str] | None = None
+        for entry in present:
+            services = self._certain_services(entry)
+            certain = services if certain is None else certain & services
+            if not certain:
+                return
+        population = self._population
+        group_codes = self._group_codes
+        distinct = np.unique(batch.user_indices[lo:hi]).tolist()
+        for service in routed:
+            if certain is None or service not in certain:
+                continue
+            route = router.active_route(service)
+            if not route.variants:
+                continue
+            rec = self._route_rec(service, route)
+            memo, assigner, variants, eligible, stable = rec
+            if eligible is None:
+                user_ids = [population.user_at(i) for i in distinct]
+                for index, version in zip(
+                    distinct, assigner.assign_many(user_ids, variants)
+                ):
+                    memo[index] = version
+            else:
+                kept_indices: list[int] = []
+                kept_ids: list[str] = []
+                for index in distinct:
+                    if group_codes[index] in eligible:
+                        kept_indices.append(index)
+                        kept_ids.append(population.user_at(index))
+                    else:
+                        memo[index] = stable
+                if kept_ids:
+                    for index, version in zip(
+                        kept_indices, assigner.assign_many(kept_ids, variants)
+                    ):
+                        memo[index] = version
+
+    def _certain_services(self, entry: str) -> set[str]:
+        """Services every request entering at *entry* traverses for sure.
+
+        Follows only calls with probability >= 1 that appear in *every*
+        version a service might serve with (stable plus any routed
+        variants) — the conservative closure under which vectorized
+        assignment is safe.
+        """
+        service, _, endpoint = entry.partition(".")
+        if not endpoint:
+            raise ExecutionError(
+                f"request entry must be 'service.endpoint', got {entry!r}"
+            )
+        router = self._router
+        seen: set[tuple[str, str]] = set()
+        stack = [(service, endpoint)]
+        services: set[str] = set()
+        while stack:
+            svc_name, ep = stack.pop()
+            if (svc_name, ep) in seen:
+                continue
+            seen.add((svc_name, ep))
+            services.add(svc_name)
+            svc = self._app.service(svc_name)
+            version_names = {svc.stable_version}
+            route = router.active_route(svc_name) if router is not None else None
+            if route is not None:
+                version_names.update(v.version for v in route.variants)
+            shared: set[tuple[str, str]] | None = None
+            for version_name in version_names:
+                try:
+                    spec = svc.get(version_name).endpoint(ep)
+                except Exception:
+                    shared = set()
+                    break
+                calls = {
+                    (c.service, c.endpoint)
+                    for c in spec.calls
+                    if c.probability >= 1.0
+                }
+                shared = calls if shared is None else shared & calls
+            for child in shared or ():
+                stack.append(child)
+        return services
+
+    # -- execution ---------------------------------------------------------
+
+    def run_slice(
+        self, batch: "RequestBatch", lo: int, hi: int, now: float
+    ) -> tuple[float, list, int]:
+        """Execute rows [lo, hi) without traces; returns (clock, durations,
+        error count)."""
+        timestamps = batch.timestamps[lo:hi].tolist()
+        user_indices = batch.user_indices[lo:hi].tolist()
+        group_codes = self._group_codes
+        if len(batch.entries) == 1:
+            single = self.entry_edge(batch.entries[0])
+            entry_codes = None
+            table = None
+        else:
+            table = [self.entry_edge(entry) for entry in batch.entries]
+            entry_codes = batch.entry_codes[lo:hi].tolist()
+            single = None
+        execute = self._execute
+        durations: list = []
+        append = durations.append
+        errors = 0
+        for row in range(len(timestamps)):
+            ts = timestamps[row]
+            if ts > now:
+                now = ts
+            user = user_indices[row]
+            edge = single if entry_codes is None else table[entry_codes[row]]
+            duration, error = execute(edge, now, user, group_codes[user], 0)
+            append(duration)
+            if error:
+                errors += 1
+        return now, durations, errors
+
+    def run_slice_recording(
+        self, batch: "RequestBatch", lo: int, hi: int, now: float
+    ) -> tuple[float, list, int]:
+        """Like :meth:`run_slice` but materializes real spans and feeds the
+        trace collector per request, with scalar-identical trace ids."""
+        runtime = self._runtime
+        collector = runtime.collector
+        timestamps = batch.timestamps[lo:hi].tolist()
+        user_indices = batch.user_indices[lo:hi].tolist()
+        group_codes = self._group_codes
+        population = self._population
+        group_names = population.group_names
+        if len(batch.entries) == 1:
+            single = self.entry_edge(batch.entries[0])
+            entry_codes = None
+            table = None
+        else:
+            table = [self.entry_edge(entry) for entry in batch.entries]
+            entry_codes = batch.entry_codes[lo:hi].tolist()
+            single = None
+        execute = self._execute_recording
+        durations: list = []
+        append = durations.append
+        errors = 0
+        for row in range(len(timestamps)):
+            ts = timestamps[row]
+            if ts > now:
+                now = ts
+            user = user_indices[row]
+            edge = single if entry_codes is None else table[entry_codes[row]]
+            trace_id = runtime.next_trace_id()
+            spans: list[Span] = []
+            group_code = group_codes[user]
+            duration, error = execute(
+                edge,
+                now,
+                user,
+                group_code,
+                0,
+                trace_id,
+                None,
+                spans,
+                group_names[group_code],
+                population.user_at(user),
+            )
+            collector.record_trace(trace_id, spans)
+            runtime.requests_executed += 1
+            append(duration)
+            if error:
+                errors += 1
+        return now, durations, errors
+
+    def _execute(self, edge, start: float, user: int, group_code: int, depth: int):
+        """One hop (plus children), scalar ``Runtime._call`` draw-for-draw."""
+        if depth > _MAX_CALL_DEPTH:
+            raise ExecutionError(
+                f"call depth exceeded {_MAX_CALL_DEPTH}; cyclic topology?"
+            )
+        rec = edge[0]
+        if rec is None:
+            node = edge[1]
+        else:
+            version = rec[0].get(user)
+            if version is None:
+                version = self._assign(rec, user, group_code)
+            node = edge[1][version]
+        arrivals = node[_N_ARRIVALS]
+        arrivals.append(start)
+        cutoff = start - self._window
+        while arrivals[0] < cutoff:
+            arrivals.popleft()
+        if node[_N_NEEDS_LOAD]:
+            capacity = node[_N_CAPACITY]
+            load = (
+                (len(arrivals) / self._window) / capacity if capacity > 0 else 0.0
+            )
+        else:
+            load = 0.0
+        own_latency = node[_N_SAMPLE](load)
+        error = self._random() < node[_N_ERROR_RATE]
+        children = node[_N_CHILDREN]
+        if children:
+            child_start = start + 0.3 * own_latency / 1000.0
+            children_duration = 0.0
+            slowest_child = 0.0
+            parallel = node[_N_PARALLEL]
+            random = self._random
+            edges = self._edges
+            for probability, child_service, child_endpoint in children:
+                if probability < 1.0 and random() >= probability:
+                    continue
+                child_edge = edges.get((child_service, child_endpoint))
+                if child_edge is None:
+                    child_edge = self._edge(child_service, child_endpoint)
+                offset = 0.0 if parallel else children_duration / 1000.0
+                child_duration, failed = self._execute(
+                    child_edge, child_start + offset, user, group_code, depth + 1
+                )
+                children_duration += child_duration
+                if child_duration > slowest_child:
+                    slowest_child = child_duration
+                if failed:
+                    error = True
+            waited = slowest_child if parallel else children_duration
+            duration = own_latency + node[_N_PROXY_MS] + waited
+        else:
+            duration = own_latency + node[_N_PROXY_MS]
+        node[_N_TS_BUF].append(start)
+        node[_N_DUR_BUF].append(duration)
+        node[_N_ERR_BUF].append(error)
+        return duration, error
+
+    def _execute_recording(
+        self,
+        edge,
+        start: float,
+        user: int,
+        group_code: int,
+        depth: int,
+        trace_id: str,
+        parent_id: str | None,
+        spans: list,
+        group: str,
+        user_id: str,
+    ):
+        if depth > _MAX_CALL_DEPTH:
+            raise ExecutionError(
+                f"call depth exceeded {_MAX_CALL_DEPTH}; cyclic topology?"
+            )
+        rec = edge[0]
+        if rec is None:
+            node = edge[1]
+        else:
+            version = rec[0].get(user)
+            if version is None:
+                version = self._assign(rec, user, group_code)
+            node = edge[1][version]
+        arrivals = node[_N_ARRIVALS]
+        arrivals.append(start)
+        cutoff = start - self._window
+        while arrivals[0] < cutoff:
+            arrivals.popleft()
+        if node[_N_NEEDS_LOAD]:
+            capacity = node[_N_CAPACITY]
+            load = (
+                (len(arrivals) / self._window) / capacity if capacity > 0 else 0.0
+            )
+        else:
+            load = 0.0
+        own_latency = node[_N_SAMPLE](load)
+        error = self._random() < node[_N_ERROR_RATE]
+        # Span ids are allocated pre-order (before children), span objects
+        # appended post-order — the scalar path's exact interleaving.
+        span_id = next_span_id()
+        children = node[_N_CHILDREN]
+        if children:
+            child_start = start + 0.3 * own_latency / 1000.0
+            children_duration = 0.0
+            slowest_child = 0.0
+            parallel = node[_N_PARALLEL]
+            random = self._random
+            edges = self._edges
+            for probability, child_service, child_endpoint in children:
+                if probability < 1.0 and random() >= probability:
+                    continue
+                child_edge = edges.get((child_service, child_endpoint))
+                if child_edge is None:
+                    child_edge = self._edge(child_service, child_endpoint)
+                offset = 0.0 if parallel else children_duration / 1000.0
+                child_duration, failed = self._execute_recording(
+                    child_edge,
+                    child_start + offset,
+                    user,
+                    group_code,
+                    depth + 1,
+                    trace_id,
+                    span_id,
+                    spans,
+                    group,
+                    user_id,
+                )
+                children_duration += child_duration
+                if child_duration > slowest_child:
+                    slowest_child = child_duration
+                if failed:
+                    error = True
+            waited = slowest_child if parallel else children_duration
+            duration = own_latency + node[_N_PROXY_MS] + waited
+        else:
+            duration = own_latency + node[_N_PROXY_MS]
+        spans.append(
+            Span(
+                span_id=span_id,
+                trace_id=trace_id,
+                parent_id=parent_id,
+                service=node[_N_SERVICE],
+                version=node[_N_VERSION],
+                endpoint=node[_N_ENDPOINT],
+                start=start,
+                duration_ms=duration,
+                error=error,
+                tags={"group": group, "user": user_id},
+            )
+        )
+        node[_N_TS_BUF].append(start)
+        node[_N_DUR_BUF].append(duration)
+        node[_N_ERR_BUF].append(error)
+        return duration, error
+
+    def flush(self) -> None:
+        """Drain the metric buffers into the store in bulk.
+
+        Emission order within each (service, version, metric) key equals
+        the scalar path's record order, and ``MetricStore.extend`` is
+        order-equivalent to repeated ``record`` calls — so windowed
+        aggregates (and every check decision derived from them) match.
+        """
+        store = self._runtime.monitor.store
+        for (service, version), (ts_buf, dur_buf, err_buf) in self._buffers.items():
+            if not ts_buf:
+                continue
+            times = np.asarray(ts_buf, dtype=np.float64)
+            store.extend_columns(
+                service,
+                version,
+                "response_time",
+                times,
+                np.asarray(dur_buf, dtype=np.float64),
+            )
+            store.extend_columns(
+                service,
+                version,
+                "error",
+                times,
+                np.asarray(err_buf, dtype=np.float64),
+            )
+            store.extend_columns(
+                service, version, "throughput", times, np.ones(len(times))
+            )
+            ts_buf.clear()
+            dur_buf.clear()
+            err_buf.clear()
+
+
+def slice_blockers(
+    runtime: "Runtime",
+    campaigns: Iterable["FaultCampaign"],
+    at: float,
+    record_traces: bool,
+) -> list[str]:
+    """Why the slice starting at *at* cannot take the fast path ([] = it can).
+
+    Every condition here either only changes at engine events (fault
+    activation/revert, route installs, breaker state) or is static for
+    the run (policies, subscribers) — so checking once per slice is
+    sound.
+    """
+    from repro.microservices.runtime import StaticRouter
+    from repro.routing.proxy import VersionRouter
+
+    reasons = runtime.fast_path_blockers()
+    for campaign in campaigns:
+        if campaign.active_at(at):
+            reasons.append("fault-campaign")
+            break
+    router = runtime.router
+    if isinstance(router, VersionRouter):
+        for service in router.routed_services:
+            route = router.active_route(service)
+            if route.shadow_versions:
+                reasons.append(f"shadow-route:{service}")
+            if route.audience.headers:
+                reasons.append(f"header-audience:{service}")
+    elif not isinstance(router, StaticRouter):
+        reasons.append("custom-router")
+    if not record_traces and runtime.collector.has_subscribers:
+        reasons.append("collector-subscribers")
+    return reasons
+
+
+def run_batches(
+    simulation: "SimulationEngine",
+    runtime: "Runtime",
+    batches: Iterable["RequestBatch"],
+    *,
+    until: float | None = None,
+    campaigns: Sequence["FaultCampaign"] = (),
+    options: BatchOptions | None = None,
+) -> BatchRunResult:
+    """Replay columnar request batches interleaved with engine events.
+
+    The event-interleaving contract is the scalar ``Bifrost.run`` loop's:
+    every event with time <= a request's timestamp runs before that
+    request.  Between events, requests execute as one fast slice (or, if
+    a blocker is present, through the scalar path request by request —
+    behaviour is identical either way, only speed differs).
+    """
+    options = options or BatchOptions()
+    result = BatchRunResult(
+        recent_durations=FloatRing(options.ring_capacity)
+    )
+    campaigns = tuple(campaigns)
+    record = options.record_traces
+
+    from repro.routing.proxy import VersionRouter
+
+    router = runtime.router if isinstance(runtime.router, VersionRouter) else None
+
+    for batch in batches:
+        timestamps = batch.timestamps
+        size = len(batch)
+        lo = 0
+        while lo < size:
+            next_event = simulation.queue.peek_time()
+            if next_event is None:
+                hi = size
+            else:
+                hi = int(np.searchsorted(timestamps, next_event, side="left"))
+                if hi <= lo:
+                    # Events due at or before the next request: run them
+                    # all, exactly like the scalar loop's run_until.
+                    simulation.run_until(
+                        max(float(timestamps[lo]), simulation.now)
+                    )
+                    continue
+            blockers = slice_blockers(
+                runtime, campaigns, float(timestamps[lo]), record
+            )
+            if blockers:
+                result.fallback_slices += 1
+                result.fallback_reasons.update(blockers)
+                for row in range(lo, hi):
+                    request = batch.request(row)
+                    simulation.run_until(
+                        max(request.timestamp, simulation.now)
+                    )
+                    outcome = runtime.execute(request)
+                    result._add_scalar(outcome.duration_ms, outcome.error)
+            else:
+                kernel = _SliceKernel(runtime, router, batch.population)
+                kernel.prefill_assignments(batch, lo, hi)
+                if record:
+                    now, durations, errors = kernel.run_slice_recording(
+                        batch, lo, hi, simulation.now
+                    )
+                else:
+                    now, durations, errors = kernel.run_slice(
+                        batch, lo, hi, simulation.now
+                    )
+                    runtime.advance_trace_ids(len(durations))
+                    runtime.requests_executed += len(durations)
+                kernel.flush()
+                runtime.clock.advance_to(now)
+                result.fast_slices += 1
+                result._add_fast(durations, errors)
+            lo = hi
+    if until is not None:
+        simulation.run_until(until)
+    return result

@@ -41,6 +41,16 @@ class SeededRng:
 
     # -- thin delegation ---------------------------------------------------
 
+    @property
+    def raw(self) -> random.Random:
+        """The wrapped :class:`random.Random`.
+
+        Hot loops (the batch execution kernel) bind its methods directly
+        to skip the delegation layer; the stream is the same object, so
+        interleaving raw and wrapped draws stays deterministic.
+        """
+        return self._random
+
     def random(self) -> float:
         """Uniform float in [0, 1)."""
         return self._random.random()
@@ -56,6 +66,16 @@ class SeededRng:
     def choice(self, seq: Sequence[T]) -> T:
         """Uniformly choose one element of *seq*."""
         return self._random.choice(seq)
+
+    def randrange(self, stop: int) -> int:
+        """Uniform integer in ``[0, stop)``.
+
+        Consumes exactly the same underlying draws as ``choice`` on a
+        *stop*-element sequence — the batch workload generator relies on
+        this to pick user *indices* while staying bit-identical to the
+        scalar generator's ``choice`` over the id tuple.
+        """
+        return self._random.randrange(stop)
 
     def sample(self, seq: Sequence[T], k: int) -> list[T]:
         """Sample *k* distinct elements of *seq*."""

@@ -63,6 +63,39 @@ class MetricStore:
             self._series[key] = series
         series.append(timestamp, value)
 
+    def extend(
+        self,
+        service: str,
+        version: str,
+        metric: str,
+        samples: Iterable[tuple[float, float]],
+    ) -> None:
+        """Bulk-record samples for one key — one key lookup, one C-level
+        append run, instead of per-sample :class:`MetricKey` construction.
+
+        Equivalent to calling :meth:`record` per sample (see
+        :meth:`TimeSeries.extend` for why); this is the flush path of the
+        batch execution kernel's per-(service, version) metric buffers.
+        """
+        key = MetricKey(service, version, metric)
+        series = self._series.get(key)
+        if series is None:
+            series = TimeSeries(str(key))
+            self._series[key] = series
+        series.extend(samples)
+
+    def extend_columns(
+        self, service: str, version: str, metric: str, times, values
+    ) -> None:
+        """Columnar sibling of :meth:`extend` — see
+        :meth:`TimeSeries.extend_columns`."""
+        key = MetricKey(service, version, metric)
+        series = self._series.get(key)
+        if series is None:
+            series = TimeSeries(str(key))
+            self._series[key] = series
+        series.extend_columns(times, values)
+
     def keys(self) -> list[MetricKey]:
         """All metric keys with at least one sample."""
         return sorted(self._series)

@@ -110,6 +110,17 @@ class TraceCollector:
         if on_evict is not None:
             self._evict_subscribers.append(on_evict)
 
+    @property
+    def has_subscribers(self) -> bool:
+        """Whether any stream subscriber is attached.
+
+        The batch execution kernel checks this before skipping trace
+        ingestion: with subscribers present, skipping would silently
+        starve the streaming pipeline, so the kernel falls back (or must
+        be run with ``record_traces=True``).
+        """
+        return bool(self._complete_subscribers or self._evict_subscribers)
+
     def _notify_complete(self, trace_id: str) -> None:
         if not self._complete_subscribers:
             return
@@ -135,6 +146,32 @@ class TraceCollector:
             touched[span.trace_id] = None
         for trace_id in touched:
             self._notify_complete(trace_id)
+
+    def record_trace(self, trace_id: str, spans: list[Span]) -> None:
+        """Bulk-ingest spans known to belong to one trace.
+
+        Equivalent to :meth:`record_all` on the same spans (same eviction,
+        tombstone, and notification behavior) but skips the per-span
+        trace-id grouping — the batch execution kernel emits whole traces
+        at once, so the grouping is already known.
+        """
+        if trace_id in self._tombstones:
+            for _ in spans:
+                self.late_spans_dropped.increment()
+            return
+        if not spans:
+            return
+        bucket = self._spans_by_trace.setdefault(trace_id, [])
+        state = self._assembly.setdefault(trace_id, _BucketState())
+        bucket.extend(spans)
+        for span in spans:
+            state.add(span)
+        if self._capacity is not None and len(self._spans_by_trace) > self._capacity:
+            oldest = next(iter(self._spans_by_trace))
+            self._evict(oldest)
+            if oldest == trace_id:
+                return
+        self._notify_complete(trace_id)
 
     def _ingest(self, span: Span) -> None:
         if span.trace_id in self._tombstones:

@@ -4,11 +4,19 @@ Fenrir schedules experiments against an expected *traffic profile*
 (requests per time slot and user group — Fig 3.3 shows the real-world
 profile the paper used; we synthesize an equivalent diurnal/weekly shape).
 Bifrost and the topology evaluation drive a simulated application with
-request *workloads* derived from such profiles.
+request *workloads* derived from such profiles — one request object at a
+time via :class:`WorkloadGenerator`, or as columnar
+:class:`RequestBatch` chunks via :class:`BatchWorkloadGenerator` for
+million-request replays through the batch execution kernel.
 """
 
+from repro.traffic.batch import (
+    DEFAULT_BATCH_SIZE,
+    BatchWorkloadGenerator,
+    RequestBatch,
+)
 from repro.traffic.profile import TrafficProfile, UserGroup, diurnal_profile
-from repro.traffic.users import UserPopulation, bucket_user
+from repro.traffic.users import UserPopulation, bucket_user, bucket_users
 from repro.traffic.workload import Request, WorkloadGenerator
 
 __all__ = [
@@ -17,6 +25,10 @@ __all__ = [
     "diurnal_profile",
     "UserPopulation",
     "bucket_user",
+    "bucket_users",
     "Request",
     "WorkloadGenerator",
+    "BatchWorkloadGenerator",
+    "RequestBatch",
+    "DEFAULT_BATCH_SIZE",
 ]

@@ -73,6 +73,16 @@ class TrafficProfile:
         self._groups = {g.name: g for g in groups}
         self._group_names = tuple(self._groups)
         self.slot_duration_hours = float(slot_duration_hours)
+        # Prefix sums over the (immutable) volume list: element i is the
+        # volume of slots [0, i), so any slot range is an O(1) difference
+        # instead of an O(n) sum — the batch workload generator queries
+        # cumulative volume per slot in its generation loop.
+        prefix = [0.0]
+        acc = 0.0
+        for volume in self._volumes:
+            acc += volume
+            prefix.append(acc)
+        self._prefix_volumes = tuple(prefix)
 
     @property
     def num_slots(self) -> int:
@@ -105,8 +115,32 @@ class TrafficProfile:
         return self._volumes[slot] * self.group(group).share
 
     def total_volume(self) -> float:
-        """Expected requests over the whole horizon."""
-        return sum(self._volumes)
+        """Expected requests over the whole horizon (O(1), prefix sums)."""
+        return self._prefix_volumes[-1]
+
+    def cumulative_volume(self, slot: int) -> float:
+        """Expected requests in slots ``[0, slot)`` — O(1) via prefix sums.
+
+        ``slot`` may be ``num_slots`` (the whole horizon); the window is
+        half-open like every other window in the library, so
+        ``cumulative_volume(b) - cumulative_volume(a)`` is exactly the
+        volume of slots ``[a, b)``.
+        """
+        if not 0 <= slot <= self.num_slots:
+            raise ConfigurationError(
+                f"slot {slot} outside [0, {self.num_slots}]"
+            )
+        return self._prefix_volumes[slot]
+
+    def volume_between(self, start_slot: int, end_slot: int) -> float:
+        """Expected requests in slots ``[start_slot, end_slot)``, O(1)."""
+        if end_slot < start_slot:
+            raise ConfigurationError(
+                f"end slot {end_slot} precedes start slot {start_slot}"
+            )
+        return self.cumulative_volume(end_slot) - self.cumulative_volume(
+            start_slot
+        )
 
     def volumes(self) -> list[float]:
         """Per-slot total volumes (copy) — the Fig 3.3 series."""
@@ -206,7 +240,9 @@ def consumption_series(
     *consumed_per_slot* maps slot index to the request volume consumed by
     scheduled experiments; missing slots consume zero.
     """
+    prefix = profile._prefix_volumes
     out: list[tuple[float, float]] = []
     for slot in range(profile.num_slots):
-        out.append((profile.volume(slot), float(consumed_per_slot.get(slot, 0.0))))
+        available = prefix[slot + 1] - prefix[slot]
+        out.append((available, float(consumed_per_slot.get(slot, 0.0))))
     return out

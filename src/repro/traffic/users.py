@@ -16,17 +16,60 @@ from repro.errors import ConfigurationError
 from repro.simulation.rng import SeededRng
 from repro.traffic.profile import UserGroup
 
+#: Cap on memoized per-salt MD5 prefix states (see :func:`bucket_user`).
+#: Salts are experiment names, so a handful is typical; the cap only
+#: guards pathological callers that invent salts per request.
+_SALT_CACHE_LIMIT = 256
+
+_salt_digests: dict[str, "hashlib._Hash"] = {}
+
+
+def _salted_md5(salt: str) -> "hashlib._Hash":
+    """Memoized MD5 state pre-fed with ``salt:`` (copied per use)."""
+    state = _salt_digests.get(salt)
+    if state is None:
+        if len(_salt_digests) >= _SALT_CACHE_LIMIT:
+            _salt_digests.clear()
+        state = hashlib.md5(f"{salt}:".encode("utf-8"))
+        _salt_digests[salt] = state
+    return state
+
 
 def bucket_user(user_id: str, salt: str, buckets: int = 1000) -> int:
     """Deterministically map *user_id* to a bucket in ``[0, buckets)``.
 
     Uses MD5 over ``salt:user_id`` so the mapping is stable across
-    processes and Python hash randomization.
+    processes and Python hash randomization.  The per-salt prefix of the
+    digest is memoized — hashing restarts from a copied midstate instead
+    of re-digesting ``salt:`` for every request — which is byte-for-byte
+    identical to hashing the concatenated string (pinned by a regression
+    test so the cache can never drift).
     """
     if buckets <= 0:
         raise ConfigurationError(f"buckets must be positive, got {buckets}")
-    digest = hashlib.md5(f"{salt}:{user_id}".encode("utf-8")).digest()
-    return int.from_bytes(digest[:8], "big") % buckets
+    state = _salted_md5(salt).copy()
+    state.update(user_id.encode("utf-8"))
+    return int.from_bytes(state.digest()[:8], "big") % buckets
+
+
+def bucket_users(
+    user_ids: Iterable[str], salt: str, buckets: int = 1000
+) -> list[int]:
+    """Bucket many users at once — the array form of :func:`bucket_user`.
+
+    Shares one memoized salt midstate across the whole batch; element
+    *i* equals ``bucket_user(user_ids[i], salt, buckets)`` exactly.
+    """
+    if buckets <= 0:
+        raise ConfigurationError(f"buckets must be positive, got {buckets}")
+    base = _salted_md5(salt)
+    from_bytes = int.from_bytes
+    out: list[int] = []
+    for user_id in user_ids:
+        state = base.copy()
+        state.update(user_id.encode("utf-8"))
+        out.append(from_bytes(state.digest()[:8], "big") % buckets)
+    return out
 
 
 def in_rollout(user_id: str, salt: str, fraction: float) -> bool:
@@ -57,14 +100,46 @@ class UserPopulation:
         shares = [g.share for g in self._groups]
         self._group_of: dict[str, str] = {}
         self._members: dict[str, list[str]] = {name: [] for name in names}
+        group_indices: list[int] = []
+        index_of = {name: i for i, name in enumerate(names)}
         for i in range(size):
             user_id = f"u{i:07d}"
             group = rng.weighted_choice(names, shares)
             self._group_of[user_id] = group
             self._members[group].append(user_id)
+            group_indices.append(index_of[group])
+        # Frozen columnar views of the population: the id tuple keeps
+        # sample() O(1) instead of rebuilding a list per draw, and the
+        # group-code column is what the batch workload generator ships
+        # around instead of per-request group strings.
+        self._ids: tuple[str, ...] = tuple(self._group_of)
+        self._group_names_tuple: tuple[str, ...] = tuple(names)
+        self._group_codes: tuple[int, ...] = tuple(group_indices)
 
     def __len__(self) -> int:
         return len(self._group_of)
+
+    @property
+    def ids(self) -> tuple[str, ...]:
+        """All user ids as an immutable tuple (no copy)."""
+        return self._ids
+
+    @property
+    def group_names(self) -> tuple[str, ...]:
+        """Group names in declaration order; codes index into this."""
+        return self._group_names_tuple
+
+    def group_codes(self) -> tuple[int, ...]:
+        """Per-user group index into :attr:`group_names` (no copy).
+
+        Element *i* is the group of user ``ids[i]`` — the columnar
+        encoding batch workloads carry instead of group-name strings.
+        """
+        return self._group_codes
+
+    def user_at(self, index: int) -> str:
+        """The id of the *index*-th user (generation order)."""
+        return self._ids[index]
 
     @property
     def user_ids(self) -> list[str]:
@@ -87,7 +162,7 @@ class UserPopulation:
     def sample(self, rng: SeededRng, groups: Iterable[str] | None = None) -> str:
         """Draw one user uniformly, optionally restricted to *groups*."""
         if groups is None:
-            return rng.choice(list(self._group_of))
+            return rng.choice(self._ids)
         pool: list[str] = []
         for group in groups:
             pool.extend(self.members(group))

@@ -1,0 +1,336 @@
+"""Property: the batch execution kernel is bit-identical to the scalar path.
+
+The contract of ``repro.simulation.batch`` is that running a workload
+through ``Bifrost.run_batches`` produces *exactly* the state an
+all-scalar ``Bifrost.run`` replay would: the same metric samples (every
+timestamp and value, bit for bit), the same strategy transitions and
+check evaluations, the same sticky-assignment state, the same promotion
+or abort decision, the same clock.  Hypothesis drives randomized
+topologies, canary fractions, arrival processes, and seeds through both
+paths and diffs the full observable state.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bifrost import Bifrost
+from repro.bifrost.model import Check, Phase, PhaseType, Strategy
+from repro.microservices.application import Application
+from repro.microservices.service import (
+    DownstreamCall,
+    EndpointSpec,
+    ServiceVersion,
+)
+from repro.simulation.latency import (
+    ConstantLatency,
+    LoadSensitiveLatency,
+    LogNormalLatency,
+)
+from repro.traffic.batch import BatchWorkloadGenerator
+from repro.traffic.profile import DEFAULT_GROUPS
+from repro.traffic.users import UserPopulation
+from repro.traffic.workload import WorkloadGenerator
+
+RATE = 40.0
+DURATION = 12.0
+UNTIL = 20.0
+
+
+def build_app(
+    canary_error: float, call_probability: float, parallel: bool
+) -> Application:
+    app = Application()
+    app.deploy(
+        ServiceVersion(
+            "frontend",
+            "1.0.0",
+            {
+                "index": EndpointSpec(
+                    "index",
+                    LoadSensitiveLatency(LogNormalLatency(20.0, 0.3)),
+                    calls=(
+                        DownstreamCall("catalog", "search"),
+                        DownstreamCall(
+                            "inventory", "check", probability=call_probability
+                        ),
+                    ),
+                    parallel_calls=parallel,
+                )
+            },
+            capacity_rps=100.0,
+        )
+    )
+    app.deploy(
+        ServiceVersion(
+            "catalog",
+            "1.0.0",
+            {
+                "search": EndpointSpec(
+                    "search",
+                    LogNormalLatency(15.0, 0.25),
+                    error_rate=0.01,
+                    calls=(DownstreamCall("inventory", "check"),),
+                )
+            },
+            capacity_rps=100.0,
+        )
+    )
+    app.deploy(
+        ServiceVersion(
+            "catalog",
+            "2.0.0",
+            {
+                "search": EndpointSpec(
+                    "search",
+                    LogNormalLatency(13.0, 0.25),
+                    error_rate=canary_error,
+                    calls=(DownstreamCall("inventory", "check"),),
+                )
+            },
+            capacity_rps=100.0,
+        )
+    )
+    app.deploy(
+        ServiceVersion(
+            "inventory",
+            "1.0.0",
+            {"check": EndpointSpec("check", ConstantLatency(4.0))},
+            capacity_rps=200.0,
+        )
+    )
+    return app
+
+
+def build_strategy(fraction: float) -> Strategy:
+    return Strategy(
+        name="catalog-canary",
+        description="equivalence scenario",
+        phases=(
+            Phase(
+                name="canary",
+                type=PhaseType.CANARY,
+                service="catalog",
+                stable_version="1.0.0",
+                experimental_version="2.0.0",
+                fraction=fraction,
+                duration_seconds=10.0,
+                check_interval_seconds=2.0,
+                checks=(
+                    Check(
+                        name="error-rate",
+                        service="catalog",
+                        version="2.0.0",
+                        metric="error",
+                        aggregation="mean",
+                        operator="<=",
+                        threshold=0.05,
+                        window_seconds=6.0,
+                    ),
+                ),
+            ),
+        ),
+    )
+
+
+def make_workload(generator, kind: str):
+    if kind == "poisson":
+        return generator.poisson(RATE, DURATION)
+    if kind == "heavy_tail":
+        return generator.heavy_tail(RATE, DURATION, alpha=1.7)
+    return generator.constant(1.0 / RATE, int(RATE * DURATION))
+
+
+def run_scalar(params):
+    canary_error, call_probability, parallel, fraction, seed, kind = params
+    bifrost = Bifrost(
+        build_app(canary_error, call_probability, parallel), seed=7
+    )
+    execution = bifrost.submit(build_strategy(fraction), at=1.0)
+    population = UserPopulation(300, DEFAULT_GROUPS, seed=1)
+    generator = WorkloadGenerator(population, entry="frontend.index", seed=seed)
+    bifrost.run(make_workload(generator, kind), until=UNTIL)
+    return bifrost, execution
+
+
+def run_batch(params, record_traces: bool = False):
+    from repro.simulation.batch import BatchOptions
+
+    canary_error, call_probability, parallel, fraction, seed, kind = params
+    bifrost = Bifrost(
+        build_app(canary_error, call_probability, parallel), seed=7
+    )
+    execution = bifrost.submit(build_strategy(fraction), at=1.0)
+    population = UserPopulation(300, DEFAULT_GROUPS, seed=1)
+    generator = BatchWorkloadGenerator(
+        population, entry="frontend.index", seed=seed
+    )
+    result = bifrost.run_batches(
+        make_workload(generator, kind),
+        until=UNTIL,
+        options=BatchOptions(record_traces=record_traces),
+    )
+    return bifrost, execution, result
+
+
+def assert_equivalent(scalar, batch) -> None:
+    scalar_bifrost, scalar_execution = scalar
+    batch_bifrost, batch_execution, result = batch
+
+    assert result.requests == scalar_bifrost.runtime.requests_executed
+    assert (
+        batch_bifrost.runtime.requests_executed
+        == scalar_bifrost.runtime.requests_executed
+    )
+    assert batch_bifrost.simulation.now == scalar_bifrost.simulation.now
+    # Every metric series, every sample, bit for bit.
+    assert batch_bifrost.store.snapshot() == scalar_bifrost.store.snapshot()
+    # Same strategy trajectory: transitions, check evaluations, outcome.
+    assert list(map(repr, batch_execution.transitions)) == list(
+        map(repr, scalar_execution.transitions)
+    )
+    # duration_s is wall-clock evaluation time — non-deterministic by
+    # nature, so compare every *semantic* field of each check result.
+    def check_fields(log):
+        return [
+            (repr(r.check), r.time, r.outcome, r.observed, r.reference)
+            for r in log
+        ]
+
+    assert check_fields(batch_execution.check_log) == check_fields(
+        scalar_execution.check_log
+    )
+    assert batch_execution.outcome == scalar_execution.outcome
+    assert batch_bifrost.application.stable_version(
+        "catalog"
+    ) == scalar_bifrost.application.stable_version("catalog")
+    # Same sticky-assignment state (distinct users per variant).
+    scalar_assigner = scalar_bifrost.router.assigner("catalog-canary")
+    batch_assigner = batch_bifrost.router.assigner("catalog-canary")
+    assert batch_assigner._counts == scalar_assigner._counts
+    assert batch_assigner._seen == scalar_assigner._seen
+
+
+class TestBatchEquivalence:
+    @settings(max_examples=8, deadline=None)
+    @given(
+        canary_error=st.sampled_from([0.0, 0.01, 0.4]),
+        call_probability=st.sampled_from([1.0, 0.6]),
+        parallel=st.booleans(),
+        fraction=st.sampled_from([0.05, 0.1, 0.3]),
+        seed=st.integers(min_value=0, max_value=2**16),
+        kind=st.sampled_from(["poisson", "heavy_tail", "constant"]),
+    )
+    def test_batch_matches_scalar(
+        self, canary_error, call_probability, parallel, fraction, seed, kind
+    ):
+        params = (canary_error, call_probability, parallel, fraction, seed, kind)
+        assert_equivalent(run_scalar(params), run_batch(params))
+
+    @settings(max_examples=4, deadline=None)
+    @given(
+        canary_error=st.sampled_from([0.0, 0.4]),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    def test_recording_mode_reproduces_traces(self, canary_error, seed):
+        """With ``record_traces=True`` the kernel also rebuilds every trace
+        the scalar path would have collected — same ids, same span tree,
+        same timings."""
+        params = (canary_error, 1.0, False, 0.1, seed, "poisson")
+        scalar_bifrost, _ = run_scalar(params)
+        batch_bifrost, _, result = run_batch(params, record_traces=True)
+
+        def dump(collector):
+            # Span ids come from a process-global counter, so their
+            # absolute values differ between two runs; normalize to the
+            # span's allocation rank within its trace (allocation ORDER
+            # is part of the contract and must match exactly).
+            out = []
+            for trace in collector.traces():
+                rank = {
+                    span.span_id: i
+                    for i, span in enumerate(
+                        sorted(trace.spans, key=lambda s: s.span_id)
+                    )
+                }
+                out.append(
+                    (
+                        trace.trace_id,
+                        [
+                            (
+                                rank[span.span_id],
+                                rank.get(span.parent_id),
+                                span.service,
+                                span.version,
+                                span.endpoint,
+                                span.start,
+                                span.duration_ms,
+                                span.error,
+                                dict(span.tags),
+                            )
+                            for span in trace.spans
+                        ],
+                    )
+                )
+            return out
+
+        assert dump(batch_bifrost.collector) == dump(scalar_bifrost.collector)
+        assert result.fast_requests > 0
+        assert batch_bifrost.store.snapshot() == scalar_bifrost.store.snapshot()
+
+
+class TestFaultCampaignFallback:
+    def test_fallback_under_active_faults_matches_scalar(self):
+        """Satellite: with a fault campaign active mid-run the driver must
+        detect it, fall back to the scalar path for affected slices, and
+        still produce identical outcomes (the faults *happen* either way).
+        """
+        from repro.microservices.faults import (
+            ErrorBurst,
+            FaultCampaign,
+            FaultInjector,
+            LatencySpike,
+        )
+
+        def campaign_for(bifrost):
+            campaign = FaultCampaign(FaultInjector(bifrost.application))
+            campaign.add(
+                ErrorBurst("catalog", "1.0.0", "search", 0.3, start=4.0, end=8.0)
+            )
+            campaign.add(
+                LatencySpike(
+                    "inventory", "1.0.0", "check", 3.0, start=6.0, end=10.0
+                )
+            )
+            return campaign
+
+        params = (0.0, 1.0, False, 0.1, 99, "poisson")
+
+        scalar_bifrost = Bifrost(build_app(0.0, 1.0, False), seed=7)
+        scalar_execution = scalar_bifrost.submit(build_strategy(0.1), at=1.0)
+        scalar_bifrost.install_campaign(campaign_for(scalar_bifrost))
+        population = UserPopulation(300, DEFAULT_GROUPS, seed=1)
+        generator = WorkloadGenerator(
+            population, entry="frontend.index", seed=99
+        )
+        scalar_bifrost.run(generator.poisson(RATE, DURATION), until=UNTIL)
+
+        batch_bifrost = Bifrost(build_app(0.0, 1.0, False), seed=7)
+        batch_execution = batch_bifrost.submit(build_strategy(0.1), at=1.0)
+        batch_bifrost.install_campaign(campaign_for(batch_bifrost))
+        batch_population = UserPopulation(300, DEFAULT_GROUPS, seed=1)
+        batch_generator = BatchWorkloadGenerator(
+            batch_population, entry="frontend.index", seed=99
+        )
+        result = batch_bifrost.run_batches(
+            batch_generator.poisson(RATE, DURATION), until=UNTIL
+        )
+
+        # The campaign window forced scalar fallback, but traffic outside
+        # the window still took the fast path.
+        assert result.fallback_requests > 0
+        assert result.fast_requests > 0
+        assert result.fallback_reasons["fault-campaign"] > 0
+        assert_equivalent(
+            (scalar_bifrost, scalar_execution),
+            (batch_bifrost, batch_execution, result),
+        )

@@ -1,0 +1,309 @@
+"""Unit tests for the batch execution kernel's building blocks.
+
+The scalar-vs-batch *equivalence* is covered by
+``tests/property/test_batch_equivalence.py``; here we pin the individual
+pieces: the ring buffer, the columnar append paths, bulk trace
+ingestion, fast-path blocker detection, and trace-id bookkeeping.
+"""
+
+import random
+from collections import deque
+
+import pytest
+
+from repro.bifrost import Bifrost
+from repro.errors import ConfigurationError, StatisticsError
+from repro.microservices.faults import (
+    ErrorBurst,
+    FaultCampaign,
+    FaultInjector,
+)
+from repro.routing.rules import AudienceFilter, ExperimentRoute, Variant
+from repro.simulation.batch import (
+    BatchOptions,
+    FloatRing,
+    run_batches,
+    slice_blockers,
+)
+from repro.stats.timeseries import TimeSeries
+from repro.telemetry.store import MetricStore
+from repro.tracing.collector import TraceCollector
+from repro.tracing.span import Span, next_span_id
+from repro.traffic.batch import BatchWorkloadGenerator
+from repro.traffic.profile import DEFAULT_GROUPS
+from repro.traffic.users import UserPopulation
+
+from repro.topology.scenarios import sample_application
+
+
+class TestFloatRing:
+    def test_rejects_non_positive_capacity(self):
+        with pytest.raises(ConfigurationError):
+            FloatRing(0)
+        with pytest.raises(ConfigurationError):
+            FloatRing(-1)
+
+    def test_fills_then_evicts_oldest(self):
+        ring = FloatRing(3)
+        ring.push(1.0)
+        ring.push(2.0)
+        assert ring.values().tolist() == [1.0, 2.0]
+        ring.push(3.0)
+        ring.push(4.0)
+        assert ring.values().tolist() == [2.0, 3.0, 4.0]
+        assert len(ring) == 3
+        assert ring.total_pushed == 4
+
+    def test_push_many_wraps_around(self):
+        ring = FloatRing(5)
+        ring.push_many([1.0, 2.0, 3.0, 4.0])
+        ring.push_many([5.0, 6.0, 7.0])
+        assert ring.values().tolist() == [3.0, 4.0, 5.0, 6.0, 7.0]
+
+    def test_push_many_larger_than_capacity(self):
+        ring = FloatRing(5)
+        ring.push(0.0)
+        ring.push_many(list(map(float, range(1, 12))))
+        assert ring.values().tolist() == [7.0, 8.0, 9.0, 10.0, 11.0]
+        assert ring.total_pushed == 12
+
+    def test_matches_bounded_deque_reference(self):
+        """Randomized cross-check: any interleaving of push/push_many
+        retains exactly what a ``deque(maxlen=capacity)`` would."""
+        rng = random.Random(1234)
+        for capacity in (1, 2, 3, 7, 16):
+            ring = FloatRing(capacity)
+            reference: deque[float] = deque(maxlen=capacity)
+            counter = 0.0
+            for _ in range(200):
+                if rng.random() < 0.5:
+                    ring.push(counter)
+                    reference.append(counter)
+                    counter += 1.0
+                else:
+                    n = rng.randrange(0, 2 * capacity + 2)
+                    chunk = [counter + i for i in range(n)]
+                    counter += n
+                    ring.push_many(chunk)
+                    reference.extend(chunk)
+                assert ring.values().tolist() == list(reference), (
+                    f"capacity={capacity}"
+                )
+
+
+class TestExtendColumns:
+    def _reference(self, samples):
+        series = TimeSeries("ref")
+        for ts, value in samples:
+            series.append(ts, value)
+        return list(series)
+
+    def test_equivalent_to_appends(self):
+        rng = random.Random(7)
+        for _ in range(20):
+            samples = [
+                (round(rng.uniform(0, 50), 3), float(i)) for i in range(40)
+            ]
+            series = TimeSeries("col")
+            series.extend_columns(
+                [ts for ts, _ in samples], [v for _, v in samples]
+            )
+            assert list(series) == self._reference(samples)
+
+    def test_out_of_order_prefix_against_existing_samples(self):
+        """New chunk partially predating the existing tail: the prefix
+        must insertion-sort, the rest bulk-append."""
+        series = TimeSeries("col")
+        series.append(10.0, 1.0)
+        series.append(20.0, 2.0)
+        series.extend_columns([5.0, 15.0, 25.0], [3.0, 4.0, 5.0])
+        assert list(series) == self._reference(
+            [(10.0, 1.0), (20.0, 2.0), (5.0, 3.0), (15.0, 4.0), (25.0, 5.0)]
+        )
+
+    def test_stable_for_equal_timestamps(self):
+        series = TimeSeries("col")
+        series.extend_columns([1.0, 1.0, 1.0], [1.0, 2.0, 3.0])
+        assert series.values == [1.0, 2.0, 3.0]
+
+    def test_rejects_mismatched_columns(self):
+        with pytest.raises(StatisticsError):
+            TimeSeries("col").extend_columns([1.0, 2.0], [1.0])
+
+    def test_empty_columns_are_a_no_op(self):
+        series = TimeSeries("col")
+        series.extend_columns([], [])
+        assert len(series) == 0
+
+    def test_metric_store_columnar_matches_record(self):
+        columnar, scalar = MetricStore(), MetricStore()
+        samples = [(3.0, 1.0), (1.0, 2.0), (2.0, 3.0)]
+        columnar.extend_columns(
+            "svc", "1.0", "latency",
+            [ts for ts, _ in samples], [v for _, v in samples],
+        )
+        for ts, value in samples:
+            scalar.record("svc", "1.0", "latency", ts, value)
+        assert columnar.snapshot() == scalar.snapshot()
+
+
+def _make_trace(trace_id: str, n_spans: int = 2) -> list[Span]:
+    root = Span(next_span_id(), trace_id, None, "svc", "1.0", "ep", 0.0, 5.0)
+    spans = [root]
+    for _ in range(n_spans - 1):
+        spans.append(
+            Span(
+                next_span_id(), trace_id, root.span_id,
+                "child", "1.0", "ep", 1.0, 2.0,
+            )
+        )
+    return spans
+
+
+class TestRecordTrace:
+    def test_matches_record_all(self):
+        bulk, scalar = TraceCollector(), TraceCollector()
+        for trace_id in ("t1", "t2"):
+            spans = _make_trace(trace_id)
+            bulk.record_trace(trace_id, spans)
+            scalar.record_all(spans)
+        assert bulk.trace_ids == scalar.trace_ids
+        for trace_id in bulk.trace_ids:
+            assert bulk.trace(trace_id).spans == scalar.trace(trace_id).spans
+
+    def test_capacity_eviction_and_tombstones(self):
+        collector = TraceCollector(capacity=2)
+        for trace_id in ("t1", "t2", "t3"):
+            collector.record_trace(trace_id, _make_trace(trace_id))
+        assert collector.trace_ids == ["t2", "t3"]
+        assert collector.evicted_ids == ["t1"]
+        # A late chunk for the evicted trace is dropped, not resurrected.
+        collector.record_trace("t1", _make_trace("t1"))
+        assert collector.trace_ids == ["t2", "t3"]
+        assert collector.late_spans_dropped.value == 2
+
+    def test_notifies_subscribers_once_per_trace(self):
+        collector = TraceCollector()
+        seen: list[str] = []
+        collector.subscribe(lambda trace: seen.append(trace.trace_id))
+        assert collector.has_subscribers
+        collector.record_trace("t1", _make_trace("t1", n_spans=3))
+        assert seen == ["t1"]
+
+    def test_has_subscribers_defaults_false(self):
+        assert not TraceCollector().has_subscribers
+
+
+class TestSliceBlockers:
+    def test_default_bifrost_is_fast(self):
+        bifrost = Bifrost(sample_application(), seed=1)
+        assert slice_blockers(bifrost.runtime, (), 0.0, False) == []
+        assert bifrost.runtime.fast_path_blockers() == []
+
+    def test_fault_campaign_blocks_only_while_active(self):
+        bifrost = Bifrost(sample_application(), seed=1)
+        campaign = FaultCampaign(FaultInjector(bifrost.application))
+        campaign.add(
+            ErrorBurst("catalog", "1.0.0", "list", 0.5, start=5.0, end=10.0)
+        )
+        campaigns = (campaign,)
+        assert slice_blockers(bifrost.runtime, campaigns, 4.9, False) == []
+        assert slice_blockers(bifrost.runtime, campaigns, 5.0, False) == [
+            "fault-campaign"
+        ]
+        assert slice_blockers(bifrost.runtime, campaigns, 10.0, False) == []
+
+    def test_collector_subscribers_block_unless_recording(self):
+        bifrost = Bifrost(sample_application(), seed=1)
+        bifrost.collector.subscribe(lambda trace: None)
+        assert slice_blockers(bifrost.runtime, (), 0.0, False) == [
+            "collector-subscribers"
+        ]
+        # record_traces=True feeds the subscribers, so no blocker.
+        assert slice_blockers(bifrost.runtime, (), 0.0, True) == []
+
+    def test_shadow_routes_and_header_audiences_block(self):
+        bifrost = Bifrost(sample_application(), seed=1)
+        bifrost.router.install(
+            ExperimentRoute(
+                experiment="shadow-exp",
+                service="catalog",
+                variants=(Variant("1.0.0", 1.0),),
+                shadow_versions=("2.0.0",),
+            )
+        )
+        assert slice_blockers(bifrost.runtime, (), 0.0, False) == [
+            "shadow-route:catalog"
+        ]
+        bifrost.router.uninstall("catalog")
+        bifrost.router.install(
+            ExperimentRoute(
+                experiment="header-exp",
+                service="catalog",
+                variants=(Variant("1.0.0", 1.0),),
+                audience=AudienceFilter(headers={"beta": "1"}),
+            )
+        )
+        assert slice_blockers(bifrost.runtime, (), 0.0, False) == [
+            "header-audience:catalog"
+        ]
+
+    def test_unknown_router_and_network_block(self):
+        bifrost = Bifrost(sample_application(), seed=1)
+        runtime = bifrost.runtime
+        original_router = runtime.router
+        runtime.router = object()
+        assert slice_blockers(runtime, (), 0.0, False) == ["custom-router"]
+        runtime.router = original_router
+
+        from repro.microservices.faults import NetworkState
+
+        runtime.network = NetworkState()
+        runtime.network.partition("frontend", "catalog")
+        assert runtime.fast_path_blockers() == ["network-partitions"]
+        runtime.network.heal_all()
+        assert runtime.fast_path_blockers() == []
+
+
+class TestTraceIdBookkeeping:
+    def test_advance_skips_exactly_count_ids(self):
+        bifrost = Bifrost(sample_application(), seed=1)
+        runtime = bifrost.runtime
+        first = runtime.next_trace_id()
+        runtime.advance_trace_ids(3)
+        after = runtime.next_trace_id()
+        assert int(after[1:]) == int(first[1:]) + 4
+
+    def test_advance_ignores_non_positive_counts(self):
+        bifrost = Bifrost(sample_application(), seed=1)
+        runtime = bifrost.runtime
+        first = runtime.next_trace_id()
+        runtime.advance_trace_ids(0)
+        runtime.advance_trace_ids(-5)
+        assert int(runtime.next_trace_id()[1:]) == int(first[1:]) + 1
+
+
+class TestRunBatchesDriver:
+    def test_empty_workload_with_until_advances_clock(self):
+        bifrost = Bifrost(sample_application(), seed=1)
+        result = run_batches(
+            bifrost.simulation, bifrost.runtime, [], until=25.0
+        )
+        assert result.requests == 0
+        assert bifrost.simulation.now == 25.0
+
+    def test_custom_ring_capacity(self):
+        bifrost = Bifrost(sample_application(), seed=1)
+        population = UserPopulation(50, DEFAULT_GROUPS, seed=1)
+        generator = BatchWorkloadGenerator(
+            population, entry="frontend.index", seed=3
+        )
+        result = bifrost.run_batches(
+            generator.constant(0.1, 40),
+            options=BatchOptions(ring_capacity=8),
+        )
+        assert result.requests == 40
+        assert result.recent_durations.capacity == 8
+        assert len(result.recent_durations) == 8
+        assert result.mean_duration_ms > 0.0
+        assert 0.0 <= result.error_rate <= 1.0
