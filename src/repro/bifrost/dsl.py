@@ -5,6 +5,7 @@ The format is a small indentation-based language::
 
     strategy recommendation-rollout
       description "AB Inc recommendation feature"
+      mode sim
       phase canary-phase
         type canary
         service recommend
@@ -33,15 +34,18 @@ The format is a small indentation-based language::
         on_inconclusive repeat
 
 Indentation is two spaces per level; blank lines and ``#`` comments are
-ignored.  :func:`strategy_to_dsl` serializes a strategy back; round
-tripping is loss-free for every field the DSL exposes.
+ignored.  ``mode sim|replay|live`` (optional, default ``sim``) names the
+execution substrate the strategy runs against by default — see
+:mod:`repro.exec` and ``docs/EXECUTION_MODES.md``.  :func:`strategy_to_dsl`
+serializes a strategy back; round tripping is loss-free for every field
+the DSL exposes.
 """
 
 from __future__ import annotations
 
 import os
 from repro.errors import DSLError
-from repro.bifrost.model import Check, Phase, PhaseType, Strategy
+from repro.bifrost.model import EXECUTION_MODES, Check, Phase, PhaseType, Strategy
 
 _PHASE_SCALARS = {
     "type", "service", "stable", "experimental", "second", "fraction",
@@ -51,7 +55,7 @@ _PHASE_SCALARS = {
 }
 _CHECK_SCALARS = {
     "metric", "aggregation", "operator", "threshold", "baseline",
-    "tolerance", "window", "interval", "kind", "service",
+    "tolerance", "window", "interval", "kind", "service", "version",
 }
 
 
@@ -128,6 +132,7 @@ def parse_strategy(text: str) -> Strategy:
 
     strategy_name: str | None = None
     description = ""
+    execution_mode = "sim"
     phases: list[Phase] = []
     phase_fields: dict[str, str] | None = None
     phase_name: str | None = None
@@ -152,7 +157,8 @@ def parse_strategy(text: str) -> Strategy:
                 name=check_name,
                 service=check_fields.get("service")
                 or phase_fields.get("service", ""),
-                version=phase_fields.get("experimental", ""),
+                version=check_fields.get("version")
+                or phase_fields.get("experimental", ""),
                 metric=check_fields.get("metric", "response_time"),
                 aggregation=check_fields.get("aggregation", "mean"),
                 operator=check_fields.get("operator", default_operator),
@@ -235,6 +241,13 @@ def parse_strategy(text: str) -> Strategy:
         elif level == 1:
             if keyword == "description":
                 description = _unquote(value)
+            elif keyword == "mode":
+                if value not in EXECUTION_MODES:
+                    raise DSLError(
+                        f"line {line_no}: unknown mode {value!r} "
+                        f"(expected one of {sorted(EXECUTION_MODES)})"
+                    )
+                execution_mode = value
             elif keyword == "phase":
                 finish_phase()
                 phase_name = value
@@ -267,7 +280,12 @@ def parse_strategy(text: str) -> Strategy:
     finish_phase()
     if strategy_name is None:
         raise DSLError("missing 'strategy <name>' header")
-    return Strategy(name=strategy_name, phases=tuple(phases), description=description)
+    return Strategy(
+        name=strategy_name,
+        phases=tuple(phases),
+        description=description,
+        execution_mode=execution_mode,
+    )
 
 
 def strategy_to_dsl(strategy: Strategy) -> str:
@@ -275,6 +293,8 @@ def strategy_to_dsl(strategy: Strategy) -> str:
     out: list[str] = [f"strategy {strategy.name}"]
     if strategy.description:
         out.append(f'  description "{strategy.description}"')
+    if strategy.execution_mode != "sim":
+        out.append(f"  mode {strategy.execution_mode}")
     for phase in strategy.phases:
         out.append(f"  phase {phase.name}")
         out.append(f"    type {phase.type.value}")
@@ -307,6 +327,8 @@ def strategy_to_dsl(strategy: Strategy) -> str:
                 out.append(f"      kind {check.kind}")
             if check.service != phase.service:
                 out.append(f"      service {check.service}")
+            if check.version != phase.experimental_version:
+                out.append(f"      version {check.version}")
             if check.kind == "metric":
                 out.append(f"      metric {check.metric}")
             out.append(f"      aggregation {check.aggregation}")

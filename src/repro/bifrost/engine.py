@@ -931,7 +931,9 @@ class BifrostEngine:
                     continue
                 self._schedule_at(
                     queue.horizon,
-                    lambda e=execution, p=phase.name: self._reinstall_route(e, p),
+                    lambda e=execution, p=phase.name, n=execution.phase_entries: (
+                        self._reinstall_route(e, p, n)
+                    ),
                     label=f"recover-route:{name}",
                 )
                 if (
@@ -966,14 +968,28 @@ class BifrostEngine:
             self._catchup = None
         return inflight
 
-    def _reinstall_route(self, execution: StrategyExecution, phase_name: str) -> None:
+    def _reinstall_route(
+        self,
+        execution: StrategyExecution,
+        phase_name: str,
+        entries_at_adopt: int | None = None,
+    ) -> None:
         """Idempotently re-install a resumed phase's route.
 
         Skipped when catch-up already moved the execution out of the
         phase (or finished it) — the transition installed or tore down
-        the routes itself.
+        the routes itself.  Also skipped when catch-up *re-entered* a
+        phase (an inconclusive round replayed with REPEAT lands back in
+        the same state): the re-entry installed the route and journaled
+        it already, and installing again here would journal and charge a
+        route update the crash-free run never made.
         """
         if not execution.running or execution.state != phase_name:
+            return
+        if (
+            entries_at_adopt is not None
+            and execution.phase_entries != entries_at_adopt
+        ):
             return
         self._install_route(execution, execution.current_phase)
         self.executor.submit(

@@ -269,6 +269,12 @@ class StrategyOutcome(enum.Enum):
     ABORTED = "aborted"
 
 
+#: Execution substrates a strategy may request (``mode`` in the DSL).
+#: The router in :mod:`repro.exec` maps them to backends; the strategy
+#: definition itself is substrate-agnostic.
+EXECUTION_MODES = frozenset({"sim", "replay", "live"})
+
+
 @dataclass(frozen=True)
 class Strategy:
     """A complete multi-phase live testing strategy.
@@ -276,16 +282,29 @@ class Strategy:
     The first phase is the entry state; transitions reference other
     phases by name or one of the terminal states ``complete``,
     ``rollback``, ``abort`` (or ``repeat``).
+
+    ``execution_mode`` is a *preference*, not behaviour: it names the
+    substrate (``sim``, ``replay``, ``live``) the strategy should run
+    against by default.  The engine ignores it; only the execution
+    router in :mod:`repro.exec` consults it, and an explicit mode passed
+    to the router wins.
     """
 
     name: str
     phases: tuple[Phase, ...]
     description: str = ""
     tags: tuple[str, ...] = field(default=())
+    execution_mode: str = "sim"
 
     def __post_init__(self) -> None:
         if not self.name:
             raise ConfigurationError("strategy name must be non-empty")
+        if self.execution_mode not in EXECUTION_MODES:
+            raise ConfigurationError(
+                f"strategy {self.name!r}: unknown execution mode "
+                f"{self.execution_mode!r} (expected one of "
+                f"{sorted(EXECUTION_MODES)})"
+            )
         if not self.phases:
             raise ConfigurationError(f"strategy {self.name!r} needs phases")
         names = [p.name for p in self.phases]
@@ -436,6 +455,7 @@ def strategy_to_dict(strategy: Strategy) -> dict:
         "name": strategy.name,
         "description": strategy.description,
         "tags": list(strategy.tags),
+        "execution_mode": strategy.execution_mode,
         "phases": [phase_to_dict(phase) for phase in strategy.phases],
     }
 
@@ -448,6 +468,7 @@ def strategy_from_dict(data: Mapping) -> Strategy:
             phases=tuple(phase_from_dict(p) for p in data["phases"]),
             description=data.get("description", ""),
             tags=tuple(data.get("tags", ())),
+            execution_mode=data.get("execution_mode", "sim"),
         )
     except (KeyError, TypeError) as exc:
         raise ValidationError(f"malformed strategy document: {exc}") from exc

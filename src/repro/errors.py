@@ -50,3 +50,7 @@ class SimulationError(ReproError):
 
 class StatisticsError(ReproError):
     """A statistical routine received invalid input (e.g. empty samples)."""
+
+
+class ReplayError(ReproError):
+    """A recorded experiment could not be re-driven faithfully."""

@@ -1,0 +1,266 @@
+"""Recordings: the portable artifact the REPLAY backend re-drives.
+
+A :class:`Recording` is everything one SIM (or LIVE) run observed,
+serialized as one JSONL stream of typed lines:
+
+- one ``meta`` line — the strategy as DSL text, the seed, the submit
+  time, and the horizon, so a replay reconstructs the exact experiment;
+- one ``event`` line per :class:`~repro.obs.events.Event` the observer
+  captured (the full glass-box stream, not just the retained ring);
+- one ``request`` line per executed request — its identity, arrival
+  timestamp, and the *observed spans* ``(service, version, start,
+  duration_ms, error)`` whose metrics the monitor derived from it;
+- one ``digest`` line — the content digest of the run's decision-
+  relevant state (full :meth:`MetricStore.snapshot`, transitions, check
+  log, terminal outcomes) plus the final logical clock.
+
+The span lines are the load-bearing part: re-feeding them into a fresh
+:class:`~repro.telemetry.store.MetricStore` at their original logical
+timestamps reproduces the exact store every check evaluation read, so a
+replayed engine makes the same decisions at the same times — which is
+what :func:`run_digest` equality certifies.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import IO, TYPE_CHECKING, Iterable, Mapping
+
+from repro.errors import ValidationError
+from repro.obs.events import Event, event_from_dict, stream_truncation
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.bifrost.engine import StrategyExecution
+    from repro.telemetry.store import MetricStore
+
+FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class RecordedSpan:
+    """One observed span, reduced to the fields the monitor consumes."""
+
+    service: str
+    version: str
+    start: float
+    duration_ms: float
+    error: bool
+
+    def as_list(self) -> list:
+        return [self.service, self.version, self.start, self.duration_ms, self.error]
+
+    @classmethod
+    def from_list(cls, doc: Iterable) -> "RecordedSpan":
+        service, version, start, duration_ms, error = doc
+        return cls(
+            service=str(service),
+            version=str(version),
+            start=float(start),
+            duration_ms=float(duration_ms),
+            error=bool(error),
+        )
+
+
+@dataclass(frozen=True)
+class RecordedRequest:
+    """One executed request: arrival identity plus observed spans."""
+
+    timestamp: float
+    user_id: str
+    group: str
+    entry: str
+    headers: Mapping[str, str] = field(default_factory=dict)
+    spans: tuple[RecordedSpan, ...] = ()
+    duration_ms: float = 0.0
+    error: bool = False
+
+    def as_dict(self) -> dict:
+        return {
+            "type": "request",
+            "t": self.timestamp,
+            "user": self.user_id,
+            "group": self.group,
+            "entry": self.entry,
+            "headers": dict(self.headers),
+            "spans": [span.as_list() for span in self.spans],
+            "duration_ms": self.duration_ms,
+            "error": self.error,
+        }
+
+    @classmethod
+    def from_dict(cls, doc: Mapping) -> "RecordedRequest":
+        try:
+            return cls(
+                timestamp=float(doc["t"]),
+                user_id=str(doc["user"]),
+                group=str(doc["group"]),
+                entry=str(doc["entry"]),
+                headers=dict(doc.get("headers", {})),
+                spans=tuple(
+                    RecordedSpan.from_list(span) for span in doc.get("spans", ())
+                ),
+                duration_ms=float(doc.get("duration_ms", 0.0)),
+                error=bool(doc.get("error", False)),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ValidationError(f"malformed recorded request: {exc}") from exc
+
+
+def run_digest(
+    store: "MetricStore", executions: Iterable["StrategyExecution"]
+) -> str:
+    """Content digest of a run's decision-relevant state.
+
+    Covers the full metric-store snapshot, every transition record,
+    every check evaluation (minus wall-clock evaluation cost, which is
+    explicitly non-semantic), and each strategy's terminal outcome.  Two
+    runs with equal digests made the same decisions at the same logical
+    times on the same observed data.
+    """
+    body = {
+        "store": store.snapshot(),
+        "strategies": [
+            {
+                "name": execution.strategy.name,
+                "state": execution.state,
+                "outcome": execution.outcome.value,
+                "winner": execution.winner,
+                "finished_at": execution.finished_at,
+                "phase_entries": execution.phase_entries,
+                "transitions": [
+                    [r.time, r.source, r.target, r.trigger, r.action.value]
+                    for r in execution.transitions
+                ],
+                "checks": [
+                    [r.time, r.check.name, r.outcome.value, r.observed, r.reference]
+                    for r in execution.check_log
+                ],
+            }
+            for execution in sorted(
+                executions, key=lambda e: e.strategy.name
+            )
+        ],
+    }
+    canonical = json.dumps(body, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class Recording:
+    """One recorded experiment run, replayable and diffable.
+
+    ``strategy_dsl`` is the human-readable artifact; ``strategy_doc``
+    (the lossless :func:`~repro.bifrost.model.strategy_to_dict` form) is
+    what replays actually rebuild from, so strategies that exercise
+    corners the DSL defaults away still re-run exactly.
+    """
+
+    strategy_dsl: str
+    seed: int
+    submit_at: float
+    end_time: float
+    events: list[Event] = field(default_factory=list)
+    requests: list[RecordedRequest] = field(default_factory=list)
+    digest: str = ""
+    outcomes: dict[str, str] = field(default_factory=dict)
+    mode: str = "sim"
+    strategy_doc: dict | None = None
+
+    @property
+    def truncated(self) -> Event | None:
+        """The truncation sentinel in the event stream, if any."""
+        return stream_truncation(self.events)
+
+    def jsonl_lines(self) -> Iterable[str]:
+        """The recording as typed JSON lines (``meta`` first)."""
+
+        def dump(doc: dict) -> str:
+            return json.dumps(doc, sort_keys=True, separators=(",", ":"))
+
+        meta = {
+            "type": "meta",
+            "format": FORMAT_VERSION,
+            "mode": self.mode,
+            "strategy_dsl": self.strategy_dsl,
+            "seed": self.seed,
+            "submit_at": self.submit_at,
+            "end_time": self.end_time,
+        }
+        if self.strategy_doc is not None:
+            meta["strategy"] = self.strategy_doc
+        yield dump(meta)
+        for event in self.events:
+            yield dump({"type": "event", **event.as_dict()})
+        for request in self.requests:
+            yield dump(request.as_dict())
+        yield dump(
+            {"type": "digest", "value": self.digest, "outcomes": dict(self.outcomes)}
+        )
+
+    def save(self, target: str | IO[str]) -> int:
+        """Write the recording as JSONL; returns the line count."""
+        lines = list(self.jsonl_lines())
+        text = "\n".join(lines) + "\n"
+        if isinstance(target, str):
+            with open(target, "w", encoding="utf-8") as handle:
+                handle.write(text)
+        else:
+            target.write(text)
+        return len(lines)
+
+    @classmethod
+    def from_jsonl(cls, lines: Iterable[str]) -> "Recording":
+        """Rebuild a recording from its :meth:`jsonl_lines` form."""
+        meta: dict | None = None
+        events: list[Event] = []
+        requests: list[RecordedRequest] = []
+        digest = ""
+        outcomes: dict[str, str] = {}
+        for line in lines:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                doc = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValidationError(f"undecodable recording line: {exc}") from exc
+            kind = doc.get("type")
+            if kind == "meta":
+                meta = doc
+            elif kind == "event":
+                events.append(event_from_dict(doc))
+            elif kind == "request":
+                requests.append(RecordedRequest.from_dict(doc))
+            elif kind == "digest":
+                digest = str(doc.get("value", ""))
+                outcomes = {str(k): str(v) for k, v in doc.get("outcomes", {}).items()}
+            else:
+                raise ValidationError(f"unknown recording line type: {kind!r}")
+        if meta is None:
+            raise ValidationError("recording is missing its meta line")
+        try:
+            return cls(
+                strategy_dsl=str(meta["strategy_dsl"]),
+                seed=int(meta["seed"]),
+                submit_at=float(meta["submit_at"]),
+                end_time=float(meta["end_time"]),
+                events=events,
+                requests=requests,
+                digest=digest,
+                outcomes=outcomes,
+                mode=str(meta.get("mode", "sim")),
+                strategy_doc=meta.get("strategy"),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ValidationError(f"malformed recording meta: {exc}") from exc
+
+    @classmethod
+    def load(cls, path: str) -> "Recording":
+        """Read a recording file from disk."""
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                return cls.from_jsonl(handle)
+        except OSError as exc:
+            raise ValidationError(f"cannot read recording {path!r}: {exc}") from exc

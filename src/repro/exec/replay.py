@@ -1,0 +1,233 @@
+"""REPLAY backend: re-drive a recorded experiment and diff the outcome.
+
+The replay rebuilds a fresh engine stack (clock, simulation queue,
+router, metric store, observer) and re-presents the recording's request
+stream *as observations*: for each recorded request, the simulation
+advances to the original arrival timestamp (firing any engine decisions
+due first, exactly like the scalar run loop) and the recorded spans'
+metrics are fed into the store in their original order.  Because every
+check evaluation reads nothing but the store, the replayed engine sees
+byte-identical inputs at identical logical times — so a faithful replay
+is *digest-equal* to the recording (:func:`~repro.exec.recording.run_digest`),
+and :func:`diff_replay` reports any divergence outcome-by-outcome via
+:func:`~repro.obs.timeline.diff_timeline_execution`.
+
+Replaying a *modified* strategy against the same recorded traffic is the
+what-if workflow: the diff then localizes exactly which checks and
+transitions the modification changed.
+
+Replays refuse truncated event streams (a bounded ring that evicted its
+prefix before export) — re-driving a suffix would silently fabricate a
+different experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.bifrost.dsl import parse_strategy
+from repro.bifrost.engine import BifrostEngine, StrategyExecution
+from repro.bifrost.model import Strategy, strategy_from_dict
+from repro.errors import ReplayError
+from repro.exec.recording import Recording, run_digest
+from repro.microservices.application import Application
+from repro.obs.observer import Observer
+from repro.obs.timeline import diff_timeline_execution, reconstruct_timelines
+from repro.routing.proxy import VersionRouter
+from repro.simulation.clock import SimulationClock
+from repro.simulation.engine import SimulationEngine
+from repro.telemetry.store import MetricStore
+
+
+@dataclass
+class ReplayRunResult:
+    """What one replay produced: a fresh engine run on recorded inputs."""
+
+    engine: BifrostEngine
+    store: MetricStore
+    observer: Observer
+    strategy: Strategy
+    requests: int
+    digest: str
+
+    @property
+    def executions(self) -> list[StrategyExecution]:
+        return self.engine.executions
+
+
+@dataclass
+class ReplayDiff:
+    """Outcome-by-outcome comparison of a replay against its recording.
+
+    ``strategy_diffs`` maps each strategy name to the field-level
+    differences between the *recorded* timeline (reconstructed purely
+    from the recording's event stream) and the *replayed* engine record;
+    an empty list means that strategy re-ran identically.  ``digest``
+    equality additionally covers the full metric store, so
+    :attr:`identical` certifies the replay end to end.
+    """
+
+    recorded_digest: str
+    replayed_digest: str
+    outcomes_recorded: dict[str, str] = field(default_factory=dict)
+    outcomes_replayed: dict[str, str] = field(default_factory=dict)
+    strategy_diffs: dict[str, list[str]] = field(default_factory=dict)
+    problems: list[str] = field(default_factory=list)
+
+    @property
+    def digest_match(self) -> bool:
+        return bool(self.recorded_digest) and (
+            self.recorded_digest == self.replayed_digest
+        )
+
+    @property
+    def identical(self) -> bool:
+        return (
+            self.digest_match
+            and not self.problems
+            and all(not diffs for diffs in self.strategy_diffs.values())
+        )
+
+    def describe(self) -> str:
+        """Human-readable multi-line report."""
+        lines = [
+            "replay diff: "
+            + ("IDENTICAL" if self.identical else "DIVERGED"),
+            f"  digest: recorded={self.recorded_digest[:12]}… "
+            f"replayed={self.replayed_digest[:12]}… "
+            + ("(match)" if self.digest_match else "(MISMATCH)"),
+        ]
+        for name in sorted(set(self.outcomes_recorded) | set(self.outcomes_replayed)):
+            rec = self.outcomes_recorded.get(name, "?")
+            rep = self.outcomes_replayed.get(name, "?")
+            marker = "==" if rec == rep else "!="
+            lines.append(f"  outcome[{name}]: {rec} {marker} {rep}")
+            for diff in self.strategy_diffs.get(name, ()):
+                lines.append(f"    - {diff}")
+        for problem in self.problems:
+            lines.append(f"  ! {problem}")
+        return "\n".join(lines)
+
+
+class ReplayBackend:
+    """Re-drives recordings against a fresh engine stack."""
+
+    mode = "replay"
+
+    def __init__(
+        self,
+        application_factory: Callable[[], Application],
+    ) -> None:
+        self.application_factory = application_factory
+
+    def execute(
+        self,
+        recording: Recording,
+        strategy: Strategy | None = None,
+    ) -> ReplayRunResult:
+        """Replay *recording*; *strategy* overrides the recorded one.
+
+        Raises :class:`ReplayError` when the recording's event stream is
+        truncated or carries no strategy definition.
+        """
+        sentinel = recording.truncated
+        if sentinel is not None:
+            dropped = sentinel.data.get("dropped", "?")
+            raise ReplayError(
+                f"recording's event stream is truncated ({dropped} events "
+                "evicted before export); re-driving the surviving suffix "
+                "would fabricate a different experiment"
+            )
+        if strategy is None:
+            if recording.strategy_doc is not None:
+                strategy = strategy_from_dict(recording.strategy_doc)
+            elif recording.strategy_dsl.strip():
+                strategy = parse_strategy(recording.strategy_dsl)
+            else:
+                raise ReplayError("recording carries no strategy definition")
+        clock = SimulationClock()
+        simulation = SimulationEngine(clock)
+        router = VersionRouter()
+        store = MetricStore()
+        observer = Observer(enabled=True)
+        engine = BifrostEngine(
+            simulation=simulation,
+            application=self.application_factory(),
+            router=router,
+            store=store,
+            observer=observer,
+        )
+        engine.submit(strategy, at=recording.submit_at)
+        for request in recording.requests:
+            simulation.run_until(max(request.timestamp, simulation.now))
+            for span in request.spans:
+                # Mirror Monitor.observe_span exactly: three samples per
+                # span, in span order, at the span's start time.
+                store.record(
+                    span.service,
+                    span.version,
+                    "response_time",
+                    span.start,
+                    span.duration_ms,
+                )
+                store.record(
+                    span.service,
+                    span.version,
+                    "error",
+                    span.start,
+                    1.0 if span.error else 0.0,
+                )
+                store.record(
+                    span.service, span.version, "throughput", span.start, 1.0
+                )
+        simulation.run_until(max(recording.end_time, simulation.now))
+        return ReplayRunResult(
+            engine=engine,
+            store=store,
+            observer=observer,
+            strategy=strategy,
+            requests=len(recording.requests),
+            digest=run_digest(store, engine.executions),
+        )
+
+
+def diff_replay(recording: Recording, result: ReplayRunResult) -> ReplayDiff:
+    """Compare a replay against its recording, outcome by outcome.
+
+    Reconstructs the recorded timelines from the recording's event
+    stream (refusing a truncated one), diffs each replayed execution
+    against its recorded timeline field by field, and compares the run
+    digests — full store contents, transitions, check log, terminals.
+    """
+    sentinel = recording.truncated
+    if sentinel is not None:
+        raise ReplayError(
+            "cannot diff against a truncated recording "
+            f"({sentinel.data.get('dropped', '?')} events evicted)"
+        )
+    timelines = reconstruct_timelines(recording.events)
+    diff = ReplayDiff(
+        recorded_digest=recording.digest,
+        replayed_digest=result.digest,
+        outcomes_recorded=dict(recording.outcomes),
+        outcomes_replayed={
+            e.strategy.name: e.outcome.value for e in result.executions
+        },
+    )
+    replayed_by_name = {e.strategy.name: e for e in result.executions}
+    for name, timeline in sorted(timelines.items()):
+        execution = replayed_by_name.get(name)
+        if execution is None:
+            diff.problems.append(f"recorded strategy {name!r} was not replayed")
+            continue
+        diff.strategy_diffs[name] = diff_timeline_execution(timeline, execution)
+    for name in sorted(replayed_by_name):
+        if name not in timelines:
+            diff.problems.append(
+                f"replayed strategy {name!r} is absent from the recording"
+            )
+    if not recording.digest:
+        diff.problems.append("recording carries no digest")
+    return diff
+

@@ -1,0 +1,140 @@
+"""SIM backend: the in-process simulator behind the execution router.
+
+Thin composition over the :class:`~repro.bifrost.middleware.Bifrost`
+facade (so everything the simulator supports — fault campaigns,
+durability, the PR-8 batch kernel — stays available) plus the recording
+tap: when asked to record, a lossless event subscription and per-request
+span extraction produce a :class:`~repro.exec.recording.Recording` the
+REPLAY backend can re-drive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+from repro.bifrost.middleware import Bifrost
+from repro.bifrost.model import Strategy
+from repro.exec.recording import (
+    RecordedRequest,
+    RecordedSpan,
+    Recording,
+    run_digest,
+)
+from repro.microservices.application import Application
+from repro.microservices.runtime import RequestOutcome
+from repro.obs.events import Event
+from repro.obs.observer import Observer
+from repro.traffic.workload import Request
+
+
+@dataclass
+class SimRunResult:
+    """What one SIM execution produced."""
+
+    middleware: Bifrost
+    outcomes: list[RequestOutcome]
+    recording: Recording | None = None
+
+    @property
+    def executions(self):
+        return self.middleware.engine.executions
+
+    @property
+    def store(self):
+        return self.middleware.store
+
+
+def _record_outcome(outcome: RequestOutcome) -> RecordedRequest:
+    request = outcome.request
+    return RecordedRequest(
+        timestamp=request.timestamp,
+        user_id=request.user_id,
+        group=request.group,
+        entry=request.entry,
+        headers=dict(request.headers),
+        spans=tuple(
+            RecordedSpan(
+                service=span.service,
+                version=span.version,
+                start=span.start,
+                duration_ms=span.duration_ms,
+                error=span.error,
+            )
+            for span in outcome.trace.spans
+        ),
+        duration_ms=outcome.duration_ms,
+        error=outcome.error,
+    )
+
+
+class SimBackend:
+    """Runs a strategy against a fresh simulated application."""
+
+    mode = "sim"
+
+    def __init__(
+        self,
+        application_factory: Callable[[], Application],
+        seed: int = 42,
+        middleware_kwargs: dict | None = None,
+    ) -> None:
+        self.application_factory = application_factory
+        self.seed = seed
+        self.middleware_kwargs = dict(middleware_kwargs or {})
+
+    def execute(
+        self,
+        strategy: Strategy,
+        workload: Iterable[Request],
+        until: float | None = None,
+        submit_at: float = 0.0,
+        record: bool = False,
+    ) -> SimRunResult:
+        """Submit *strategy*, replay *workload*, optionally record.
+
+        Recording attaches a lossless subscriber to the observer's event
+        ring *before* anything runs, so the recording's event stream is
+        complete even when the bounded ring later evicts its prefix.
+        """
+        kwargs = dict(self.middleware_kwargs)
+        captured: list[Event] = []
+        observer = kwargs.pop("observer", None)
+        if record and observer is None:
+            observer = Observer(enabled=True)
+        middleware = Bifrost(
+            self.application_factory(),
+            seed=self.seed,
+            observer=observer,
+            **kwargs,
+        )
+        if record:
+            middleware.observer.events.subscribe(captured.append)
+        # Submit through the engine, not the facade: the router resolved
+        # the mode deliberately (an explicit mode= argument overrides the
+        # strategy's DSL pin), so the facade's mode guard must not veto.
+        middleware.engine.submit(strategy, at=submit_at)
+        outcomes = middleware.run(workload, until=until)
+        recording: Recording | None = None
+        if record:
+            from repro.bifrost.dsl import strategy_to_dsl
+            from repro.bifrost.model import strategy_to_dict
+
+            recording = Recording(
+                strategy_doc=strategy_to_dict(strategy),
+                strategy_dsl=strategy_to_dsl(strategy),
+                seed=self.seed,
+                submit_at=submit_at,
+                end_time=middleware.simulation.now,
+                events=captured,
+                requests=[_record_outcome(outcome) for outcome in outcomes],
+                digest=run_digest(middleware.store, middleware.engine.executions),
+                outcomes={
+                    e.strategy.name: e.outcome.value
+                    for e in middleware.engine.executions
+                },
+                mode=self.mode,
+            )
+        return SimRunResult(
+            middleware=middleware, outcomes=outcomes, recording=recording
+        )

@@ -25,6 +25,7 @@ from repro.obs.events import (
     JOURNAL_APPEND,
     JOURNAL_COMPACT,
     JOURNAL_SNAPSHOT,
+    OBS_TRUNCATED,
     RECOVERY_CRASH,
     RECOVERY_REFUSED,
     RECOVERY_REPLAYED,
@@ -33,8 +34,11 @@ from repro.obs.events import (
     TOPOLOGY_HEALTH,
     Event,
     EventLog,
+    TruncatedStreamWarning,
     event_from_dict,
+    is_truncation,
     load_jsonl,
+    stream_truncation,
 )
 from repro.obs.registry import (
     HISTOGRAM_QUANTILES,
@@ -78,6 +82,7 @@ __all__ = [
     "JOURNAL_APPEND",
     "JOURNAL_COMPACT",
     "JOURNAL_SNAPSHOT",
+    "OBS_TRUNCATED",
     "RECOVERY_CRASH",
     "RECOVERY_REFUSED",
     "RECOVERY_REPLAYED",
@@ -86,8 +91,11 @@ __all__ = [
     "TOPOLOGY_HEALTH",
     "Event",
     "EventLog",
+    "TruncatedStreamWarning",
     "event_from_dict",
+    "is_truncation",
     "load_jsonl",
+    "stream_truncation",
     "HISTOGRAM_QUANTILES",
     "MetricRegistry",
     "MetricSample",

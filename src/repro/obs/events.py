@@ -22,11 +22,22 @@ to the live tail, or export everything as JSONL for offline analysis
 from __future__ import annotations
 
 import json
+import warnings
 from collections import Counter, deque
 from dataclasses import dataclass, field
 from typing import IO, Callable, Iterable, Iterator, Mapping
 
 from repro.errors import ValidationError
+
+
+class TruncatedStreamWarning(UserWarning):
+    """An exported event stream carries a truncation sentinel.
+
+    Raised as a warning by :func:`load_jsonl` (default policy) when the
+    stream it decodes starts with an :data:`OBS_TRUNCATED` record: the
+    bounded ring evicted an unknown prefix before the export, so any
+    analysis that assumes a complete history is suspect.
+    """
 
 # ---------------------------------------------------------------------------
 # Event taxonomy
@@ -72,6 +83,10 @@ FENRIR_SEARCH_COMPLETED = "fenrir.search_completed"
 FENRIR_SCHEDULE = "fenrir.schedule"
 
 TOPOLOGY_HEALTH = "topology.health_published"
+
+#: Sentinel record kind marking that a bounded ring evicted events before
+#: an export, so the exported stream is missing an unknown-length prefix.
+OBS_TRUNCATED = "obs.truncated"
 
 #: The engine-lifecycle kinds the timeline reconstruction consumes.
 TIMELINE_KINDS = frozenset(
@@ -135,8 +150,34 @@ def event_from_dict(doc: Mapping) -> Event:
         raise ValidationError(f"malformed event document: {exc}") from exc
 
 
-def load_jsonl(lines: Iterable[str]) -> list[Event]:
-    """Decode an iterable of JSONL lines back into events."""
+def is_truncation(event: Event) -> bool:
+    """Whether *event* is a ring-eviction truncation sentinel."""
+    return event.kind == OBS_TRUNCATED
+
+
+def stream_truncation(events: Iterable[Event]) -> Event | None:
+    """The truncation sentinel carried by *events*, if any."""
+    for event in events:
+        if is_truncation(event):
+            return event
+    return None
+
+
+def load_jsonl(lines: Iterable[str], *, on_truncated: str = "warn") -> list[Event]:
+    """Decode an iterable of JSONL lines back into events.
+
+    *on_truncated* selects the policy applied when the stream carries an
+    :data:`OBS_TRUNCATED` sentinel (the ring evicted a prefix before the
+    export): ``"warn"`` (default) issues a :class:`TruncatedStreamWarning`
+    and keeps the sentinel in the returned list so downstream consumers
+    can make their own call; ``"error"`` raises :class:`ValidationError`;
+    ``"ignore"`` passes the sentinel through silently.
+    """
+    if on_truncated not in {"warn", "error", "ignore"}:
+        raise ValidationError(
+            f"on_truncated must be 'warn', 'error', or 'ignore', "
+            f"got {on_truncated!r}"
+        )
     events = []
     for line in lines:
         line = line.strip()
@@ -146,7 +187,23 @@ def load_jsonl(lines: Iterable[str]) -> list[Event]:
             doc = json.loads(line)
         except json.JSONDecodeError as exc:
             raise ValidationError(f"undecodable event line: {exc}") from exc
-        events.append(event_from_dict(doc))
+        event = event_from_dict(doc)
+        if is_truncation(event):
+            dropped = event.data.get("dropped", "?")
+            if on_truncated == "error":
+                raise ValidationError(
+                    f"event stream is truncated: {dropped} events were "
+                    "evicted from the bounded ring before the export"
+                )
+            if on_truncated == "warn":
+                warnings.warn(
+                    f"event stream is truncated ({dropped} events evicted "
+                    "before export); timelines reconstructed from it would "
+                    "be missing their prefix",
+                    TruncatedStreamWarning,
+                    stacklevel=2,
+                )
+        events.append(event)
     return events
 
 
@@ -247,16 +304,49 @@ class EventLog:
         ring = tuple(self._ring)
         return list(ring[-n:])
 
+    def truncation_sentinel(self) -> Event | None:
+        """Sentinel describing evicted events, or None when lossless.
+
+        When the ring has shed events, exports are missing an
+        unknown-length prefix; the sentinel records how many events were
+        dropped and where the retained window starts, so consumers can
+        refuse (or warn) instead of silently reconstructing a wrong
+        history.  The sentinel's ``seq`` is the last evicted sequence
+        number — one below :attr:`first_retained_seq` — so a sorted
+        export keeps it first.
+        """
+        if self.dropped == 0:
+            return None
+        first = self.first_retained_seq
+        return Event(
+            seq=first - 1,
+            time=self._ring[0].time if self._ring else 0.0,
+            kind=OBS_TRUNCATED,
+            data={"dropped": self.dropped, "first_retained_seq": first},
+        )
+
     def jsonl_lines(self) -> Iterator[str]:
-        """Retained events as compact JSON lines."""
+        """Retained events as compact JSON lines.
+
+        When the ring has evicted events, the first line is an
+        :data:`OBS_TRUNCATED` sentinel (see :meth:`truncation_sentinel`)
+        so the export is self-describing about its missing prefix.
+        """
+        sentinel = self.truncation_sentinel()
+        if sentinel is not None:
+            yield json.dumps(
+                sentinel.as_dict(), separators=(",", ":"), sort_keys=True
+            )
         for event in tuple(self._ring):
             yield json.dumps(event.as_dict(), separators=(",", ":"), sort_keys=True)
 
     def export_jsonl(self, target: str | IO[str]) -> int:
         """Write the retained events to *target* (path or text handle).
 
-        Returns the number of events written.  Exports only the retained
-        window; attach a :class:`~repro.obs.exporters.JsonlEventSink`
+        Returns the number of lines written.  Exports only the retained
+        window; when events were evicted the export starts with an
+        :data:`OBS_TRUNCATED` sentinel line (counted in the return
+        value).  Attach a :class:`~repro.obs.exporters.JsonlEventSink`
         from the start for a lossless stream.
         """
         lines = list(self.jsonl_lines())

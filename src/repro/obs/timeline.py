@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Iterable
 
+from repro.errors import ValidationError
 from repro.obs.events import (
     ENGINE_CHECK,
     ENGINE_FINALIZED,
@@ -25,6 +26,7 @@ from repro.obs.events import (
     ENGINE_WINNER,
     TIMELINE_KINDS,
     Event,
+    is_truncation,
 )
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -89,15 +91,33 @@ class ExperimentTimeline:
         return None
 
 
-def reconstruct_timelines(events: Iterable[Event]) -> dict[str, ExperimentTimeline]:
+def reconstruct_timelines(
+    events: Iterable[Event], *, allow_truncated: bool = False
+) -> dict[str, ExperimentTimeline]:
     """Fold engine-lifecycle events into per-strategy timelines.
 
     Events must arrive in sequence order (any :meth:`EventLog.replay`
     does this); kinds outside :data:`~repro.obs.events.TIMELINE_KINDS`
     are ignored, so the full mixed log can be passed verbatim.
+
+    A stream carrying an :data:`~repro.obs.events.OBS_TRUNCATED`
+    sentinel (the bounded ring evicted a prefix before export) is
+    refused with :class:`ValidationError` — a timeline folded from a
+    suffix would silently misreport phase entries and checks.  Pass
+    ``allow_truncated=True`` to fold the surviving tail anyway.
     """
     timelines: dict[str, ExperimentTimeline] = {}
     for event in events:
+        if is_truncation(event):
+            if not allow_truncated:
+                dropped = event.data.get("dropped", "?")
+                raise ValidationError(
+                    f"refusing to reconstruct timelines from a truncated "
+                    f"event stream ({dropped} events evicted before "
+                    "export); pass allow_truncated=True to fold the "
+                    "surviving tail anyway"
+                )
+            continue
         if event.kind not in TIMELINE_KINDS:
             continue
         data = event.data

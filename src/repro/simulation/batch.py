@@ -858,6 +858,13 @@ def run_batches(
 
     router = runtime.router if isinstance(runtime.router, VersionRouter) else None
 
+    # A logical fallback slice is delimited by engine events (or a fast
+    # slice), not by chunk boundaries: a blocked stretch that happens to
+    # span several input chunks is still one slice and its reasons count
+    # once per stretch, not once per chunk.
+    in_fallback_stretch = False
+    stretch_reasons: set[str] = set()
+
     for batch in batches:
         timestamps = batch.timestamps
         size = len(batch)
@@ -874,13 +881,20 @@ def run_batches(
                     simulation.run_until(
                         max(float(timestamps[lo]), simulation.now)
                     )
+                    in_fallback_stretch = False
+                    stretch_reasons.clear()
                     continue
             blockers = slice_blockers(
                 runtime, campaigns, float(timestamps[lo]), record
             )
             if blockers:
-                result.fallback_slices += 1
-                result.fallback_reasons.update(blockers)
+                if not in_fallback_stretch:
+                    result.fallback_slices += 1
+                    in_fallback_stretch = True
+                fresh = [r for r in blockers if r not in stretch_reasons]
+                if fresh:
+                    result.fallback_reasons.update(fresh)
+                    stretch_reasons.update(fresh)
                 for row in range(lo, hi):
                     request = batch.request(row)
                     simulation.run_until(
@@ -889,6 +903,8 @@ def run_batches(
                     outcome = runtime.execute(request)
                     result._add_scalar(outcome.duration_ms, outcome.error)
             else:
+                in_fallback_stretch = False
+                stretch_reasons.clear()
                 kernel = _SliceKernel(runtime, router, batch.population)
                 kernel.prefill_assignments(batch, lo, hi)
                 if record:

@@ -55,6 +55,13 @@ class TestExamples:
         assert "strategy outcome: rolled_back" in out
         assert "non-closed breakers: catalog/2.0.0" in out
 
+    def test_exec_modes(self):
+        out = run_example("exec_modes.py")
+        assert "[sim] catalog-canary: completed" in out
+        assert "replay diff: IDENTICAL" in out
+        assert "[live] catalog-canary: completed" in out
+        assert "all three substrates agree: True" in out
+
     def test_durable_canary(self):
         out = run_example("durable_canary.py")
         assert "strategy outcome: completed" in out

@@ -292,6 +292,50 @@ class TestRunBatchesDriver:
         assert result.requests == 0
         assert bifrost.simulation.now == 25.0
 
+    def test_fallback_reasons_count_stretches_not_chunks(self):
+        # Regression (PR 9): a blocked stretch spanning several input
+        # chunks used to increment fallback_reasons once *per chunk*,
+        # inflating the diagnostic — "why did we fall back" reported the
+        # same cause dozens of times for one contiguous stretch.
+        bifrost = Bifrost(sample_application(), seed=1)
+        campaign = FaultCampaign(FaultInjector(bifrost.application))
+        campaign.add(
+            ErrorBurst("catalog", "1.0.0", "list", 0.2, start=0.0, end=500.0)
+        )
+        bifrost.install_campaign(campaign)
+        population = UserPopulation(50, DEFAULT_GROUPS, seed=1)
+        generator = BatchWorkloadGenerator(
+            population, entry="frontend.index", seed=3, batch_size=8
+        )
+        # 120 requests in chunks of 8 -> 15 chunks, all inside the fault
+        # window, with no engine events between them: one stretch.
+        result = bifrost.run_batches(generator.constant(0.25, 120))
+        assert result.fallback_requests == 120
+        assert result.fallback_slices == 1
+        assert result.fallback_reasons["fault-campaign"] == 1
+
+    def test_fallback_reasons_recount_after_fast_slice(self):
+        # Distinct stretches (separated by traffic outside the fault
+        # window, which takes the fast path) each count their reasons.
+        bifrost = Bifrost(sample_application(), seed=1)
+        campaign = FaultCampaign(FaultInjector(bifrost.application))
+        campaign.add(
+            ErrorBurst("catalog", "1.0.0", "list", 0.2, start=0.0, end=10.0)
+        )
+        campaign.add(
+            ErrorBurst("catalog", "1.0.0", "list", 0.2, start=20.0, end=30.0)
+        )
+        bifrost.install_campaign(campaign)
+        population = UserPopulation(50, DEFAULT_GROUPS, seed=1)
+        generator = BatchWorkloadGenerator(
+            population, entry="frontend.index", seed=3, batch_size=8
+        )
+        result = bifrost.run_batches(generator.constant(0.25, 160), until=40.0)
+        assert result.fast_requests > 0
+        assert result.fallback_requests > 0
+        assert result.fallback_reasons["fault-campaign"] == result.fallback_slices
+        assert result.fallback_slices >= 2
+
     def test_custom_ring_capacity(self):
         bifrost = Bifrost(sample_application(), seed=1)
         population = UserPopulation(50, DEFAULT_GROUPS, seed=1)

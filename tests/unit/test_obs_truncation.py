@@ -1,0 +1,137 @@
+"""Truncation sentinel of event-log exports (PR-9 satellite).
+
+A bounded :class:`EventLog` that evicted events must say so in its
+exports: the first JSONL line becomes an ``obs.truncated`` sentinel, and
+every consumer that assumes a complete history (``load_jsonl``,
+``reconstruct_timelines``, the REPLAY backend) either warns or refuses
+instead of silently reconstructing a wrong prefix-less history.
+"""
+
+import io
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.obs.events import (
+    ENGINE_CHECK,
+    ENGINE_PHASE_ENTERED,
+    ENGINE_SUBMITTED,
+    OBS_TRUNCATED,
+    EventLog,
+    TruncatedStreamWarning,
+    is_truncation,
+    load_jsonl,
+    stream_truncation,
+)
+from repro.obs.timeline import reconstruct_timelines
+
+
+def filled_log(capacity: int, appended: int) -> EventLog:
+    log = EventLog(capacity=capacity)
+    for i in range(appended):
+        log.append("engine.check", float(i), {"i": i})
+    return log
+
+
+class TestTruncationSentinel:
+    def test_lossless_log_has_no_sentinel(self):
+        log = filled_log(capacity=10, appended=10)
+        assert log.dropped == 0
+        assert log.truncation_sentinel() is None
+        lines = list(log.jsonl_lines())
+        assert len(lines) == 10
+        assert all('"obs.truncated"' not in line for line in lines)
+
+    def test_overflowed_log_emits_sentinel_first(self):
+        log = filled_log(capacity=5, appended=12)
+        sentinel = log.truncation_sentinel()
+        assert sentinel is not None
+        assert sentinel.kind == OBS_TRUNCATED
+        assert sentinel.data["dropped"] == 7
+        assert sentinel.data["first_retained_seq"] == 8
+        # One below the first retained seq, so sorted exports keep it first.
+        assert sentinel.seq == 7
+        lines = list(log.jsonl_lines())
+        assert len(lines) == 6  # sentinel + 5 retained
+        assert '"obs.truncated"' in lines[0]
+
+    def test_export_jsonl_counts_sentinel_line(self):
+        log = filled_log(capacity=5, appended=12)
+        buffer = io.StringIO()
+        assert log.export_jsonl(buffer) == 6
+
+    def test_helpers(self):
+        log = filled_log(capacity=5, appended=12)
+        sentinel = log.truncation_sentinel()
+        assert is_truncation(sentinel)
+        assert not is_truncation(log.tail(1)[0])
+        events = [sentinel, *log.events()]
+        assert stream_truncation(events) is sentinel
+        assert stream_truncation(log.events()) is None
+
+
+class TestLoadJsonlPolicies:
+    def lines(self) -> list[str]:
+        return list(filled_log(capacity=5, appended=12).jsonl_lines())
+
+    def test_warn_policy_keeps_sentinel_and_warns(self):
+        with pytest.warns(TruncatedStreamWarning, match="7 events evicted"):
+            events = load_jsonl(self.lines())
+        assert len(events) == 6
+        assert is_truncation(events[0])
+
+    def test_error_policy_raises(self):
+        with pytest.raises(ValidationError, match="truncated"):
+            load_jsonl(self.lines(), on_truncated="error")
+
+    def test_ignore_policy_is_silent(self):
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            events = load_jsonl(self.lines(), on_truncated="ignore")
+        assert len(events) == 6
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValidationError, match="on_truncated"):
+            load_jsonl([], on_truncated="explode")
+
+    def test_lossless_stream_never_warns(self):
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            events = load_jsonl(filled_log(10, 10).jsonl_lines())
+        assert len(events) == 10
+
+
+class TestTimelineRefusal:
+    def engine_events(self) -> EventLog:
+        log = EventLog(capacity=100)
+        log.append(ENGINE_SUBMITTED, 0.0, {"strategy": "s", "start": 0.0})
+        log.append(ENGINE_PHASE_ENTERED, 1.0, {"strategy": "s", "phase": "canary"})
+        log.append(
+            ENGINE_CHECK,
+            5.0,
+            {"strategy": "s", "check": "errors", "outcome": "pass"},
+        )
+        return log
+
+    def test_reconstruct_refuses_truncated_stream(self):
+        log = self.engine_events()
+        sentinel = filled_log(capacity=2, appended=9).truncation_sentinel()
+        events = [sentinel, *log.events()]
+        with pytest.raises(ValidationError, match="truncated"):
+            reconstruct_timelines(events)
+
+    def test_reconstruct_allows_truncated_when_asked(self):
+        log = self.engine_events()
+        sentinel = filled_log(capacity=2, appended=9).truncation_sentinel()
+        timelines = reconstruct_timelines(
+            [sentinel, *log.events()], allow_truncated=True
+        )
+        assert "s" in timelines
+
+    def test_reconstruct_intact_stream_unchanged(self):
+        timelines = reconstruct_timelines(self.engine_events().events())
+        assert set(timelines) == {"s"}

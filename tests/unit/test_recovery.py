@@ -185,6 +185,73 @@ class TestInFlightOutcome:
         assert bifrost.outcome_of("s") is StrategyOutcome.ROLLED_BACK
 
 
+class TestCatchupRouteReinstall:
+    def _inconclusive_strategy(self) -> Strategy:
+        # "saturation" is never recorded, so every check round is
+        # inconclusive and the phase REPEATs once before giving up.
+        phase = canary_phase(
+            checks=(
+                Check(
+                    name="sat",
+                    service="backend",
+                    version="2.0.0",
+                    metric="saturation",
+                    threshold=0.5,
+                    window_seconds=20.0,
+                ),
+            ),
+            on_inconclusive="repeat",
+            max_repeats=1,
+        )
+        return Strategy("s", (phase,))
+
+    def _route_count(self, bifrost) -> int:
+        return sum(1 for r in bifrost.journal.records() if r.kind == "route")
+
+    def test_catchup_repeat_does_not_double_install_route(self, canary_app):
+        # Regression (PR 9): when the outage window covers the phase end
+        # of an all-inconclusive round, catch-up replays the REPEAT
+        # re-entry — which installs and journals the phase route itself.
+        # The recover-route step then fired *again* on the re-entered
+        # phase, journaling a route update the crash-free run never made.
+        baseline, _ = durable_run(canary_app, self._inconclusive_strategy())
+        # Entry + one REPEAT re-entry: exactly two installs.
+        assert self._route_count(baseline) == 2
+
+        import copy
+
+        crashed, _ = durable_run(
+            copy.deepcopy(canary_app),
+            self._inconclusive_strategy(),
+            crash_at=30.0,
+            restart_at=75.0,  # past the first round's end at t=61
+        )
+        assert crashed.supervisor.restarts == 1
+        assert self._route_count(crashed) == self._route_count(baseline)
+        assert crashed.outcome_of("s") is baseline.outcome_of("s")
+        baseline_exec = baseline.engine.executions[0]
+        crashed_exec = crashed.engine.executions[0]
+        assert crashed_exec.phase_entries == baseline_exec.phase_entries
+        assert [
+            (t.time, t.source, t.target, t.trigger)
+            for t in crashed_exec.transitions
+        ] == [
+            (t.time, t.source, t.target, t.trigger)
+            for t in baseline_exec.transitions
+        ]
+
+    def test_recovery_without_reentry_still_reinstalls(self, canary_app):
+        # The guard must not break the legitimate case: an outage window
+        # that ends *inside* the same phase entry re-installs the route
+        # exactly once on top of the baseline's single install.
+        strategy = Strategy("s", (canary_phase(),))
+        bifrost, _ = durable_run(
+            canary_app, strategy, crash_at=20.0, restart_at=35.0
+        )
+        assert bifrost.outcome_of("s") is StrategyOutcome.COMPLETED
+        assert self._route_count(bifrost) == 2  # entry + post-crash reinstall
+
+
 class TestCorruptTail:
     def test_garbage_tail_dropped_and_resumed(self, canary_app):
         strategy = Strategy("s", (canary_phase(),))
