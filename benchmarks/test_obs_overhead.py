@@ -6,7 +6,9 @@ attribute check, and with one attached the per-event cost is a dataclass
 append plus a couple of dict updates on engine *decisions* (ticks,
 transitions, journal records) — never on the per-request hot path.
 This bench pins that promise: the same durable canary is run dark and
-instrumented, the minimum wall-clock of several repetitions is compared,
+instrumented — the instrumented config carrying the *full* glass-box
+surface, including the decision-provenance fold and a ticking burn-rate
+alert rule — the minimum wall-clock of several repetitions is compared,
 and the relative overhead must stay within the budget.
 
 Wall-clock on a shared box is noisy (identical runs spread by more than
@@ -32,7 +34,7 @@ from repro.bifrost import Bifrost, SnapshotPolicy
 from repro.bifrost.model import Check, Phase, PhaseType, Strategy, StrategyOutcome
 from repro.microservices.application import Application
 from repro.microservices.service import DownstreamCall, EndpointSpec, ServiceVersion
-from repro.obs import Observer
+from repro.obs import AlertRule, Observer
 from repro.simulation.latency import LogNormalLatency
 from repro.traffic.profile import DEFAULT_GROUPS
 from repro.traffic.users import UserPopulation
@@ -126,6 +128,23 @@ def run_once(observer: Observer | None):
         snapshot_policy=SnapshotPolicy(every_records=5, compact=True),
         observer=observer,
     )
+    if observer is not None:
+        # The instrumented config carries the full PR-10 surface: the
+        # provenance fold rides on the observer, and a burn-rate rule
+        # over the canary ticks every 10 s of logical time.
+        bifrost.enable_alerts(
+            [
+                AlertRule(
+                    name="catalog-slo",
+                    service="catalog",
+                    version="2.0.0",
+                    objective=0.99,
+                    fast_window=30.0,
+                    slow_window=120.0,
+                )
+            ],
+            interval=10.0,
+        )
     bifrost.submit(canary_strategy(), at=1.0)
     population = UserPopulation(300, DEFAULT_GROUPS, seed=SEED + 1)
     workload = WorkloadGenerator(population, entry="frontend.index", seed=SEED + 2)
@@ -137,7 +156,19 @@ def run_once(observer: Observer | None):
     execution = bifrost.engine.executions[0]
     paths = [o.version_path for o in outcomes]
     events = len(observer.events) if observer is not None else 0
-    return wall, execution.outcome, paths, events
+    stats = {"evidence": 0, "decisions": 0, "alert_evaluations": 0}
+    if observer is not None:
+        graph = observer.provenance.graph()
+        stats = {
+            "evidence": sum(
+                len(s.evidence) for s in graph.strategies.values()
+            ),
+            "decisions": sum(
+                len(s.decisions) for s in graph.strategies.values()
+            ),
+            "alert_evaluations": bifrost.alert_engine.evaluations,
+        }
+    return wall, execution.outcome, paths, events, stats
 
 
 def test_observer_overhead_within_budget():
@@ -147,6 +178,7 @@ def test_observer_overhead_within_budget():
     dark_outcome = lit_outcome = None
     dark_paths = lit_paths = None
     events = 0
+    stats = {}
     run_once(None)  # warmup: imports, allocator, branch caches
     pair = 0
     for batch in range(MAX_BATCHES):
@@ -156,13 +188,14 @@ def test_observer_overhead_within_budget():
                 configs.reverse()
             pair += 1
             for tag, observer in configs:
-                wall, outcome, paths, collected = run_once(observer)
+                wall, outcome, paths, collected, run_stats = run_once(observer)
                 if tag == "dark":
                     dark_walls.append(wall)
                     dark_outcome, dark_paths = outcome, paths
                 else:
                     lit_walls.append(wall)
                     lit_outcome, lit_paths, events = outcome, paths, collected
+                    stats = run_stats
         if min(lit_walls) / min(dark_walls) - 1.0 <= MAX_OVERHEAD:
             break  # the floors already agree within budget
 
@@ -175,6 +208,12 @@ def test_observer_overhead_within_budget():
     assert lit_outcome == dark_outcome
     assert lit_paths == dark_paths
     assert events > 0
+    # The instrumented run really carried the PR-10 surface: the
+    # provenance fold saw evidence and a terminal decision, and the
+    # burn-rate engine actually ticked.
+    assert stats["evidence"] > 0
+    assert stats["decisions"] > 0
+    assert stats["alert_evaluations"] > 0
 
     rows = [
         {"config": "dark (no observer)", "wall_s": dark, "events": 0},
@@ -194,6 +233,9 @@ def test_observer_overhead_within_budget():
         "overhead_fraction": overhead,
         "events_collected": events,
         "budget_fraction": MAX_OVERHEAD,
+        "provenance_evidence": stats["evidence"],
+        "provenance_decisions": stats["decisions"],
+        "alert_evaluations": stats["alert_evaluations"],
     }
     os.makedirs(OUTPUT_DIR, exist_ok=True)
     with open(os.path.join(OUTPUT_DIR, "BENCH_obs_overhead.json"), "w") as fh:

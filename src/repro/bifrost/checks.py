@@ -12,16 +12,18 @@ from dataclasses import dataclass, field, replace
 from time import perf_counter
 
 from repro.bifrost.model import Check, CheckOutcome
-from repro.telemetry.store import MetricStore
+from repro.telemetry.store import MetricStore, aggregate_values
 
 
 @dataclass(frozen=True)
 class CheckResult:
     """One evaluation of one check.
 
-    ``duration_s`` is the real (wall-clock) evaluation cost, captured
-    for the glass-box layer; it is excluded from equality so results
-    rebuilt from the journal compare equal to the originals.
+    ``duration_s`` is the real (wall-clock) evaluation cost and
+    ``samples`` the number of window samples the observation aggregated;
+    both are captured for the glass-box layer (evidence records) and
+    excluded from equality so results rebuilt from the journal compare
+    equal to the originals.
     """
 
     check: Check
@@ -30,6 +32,7 @@ class CheckResult:
     observed: float | None
     reference: float | None
     duration_s: float | None = field(default=None, compare=False)
+    samples: int | None = field(default=None, compare=False)
 
     def describe(self) -> str:
         """Human-readable one-liner for execution logs."""
@@ -66,16 +69,15 @@ class CheckEvaluator:
 
     def _evaluate(self, check: Check, now: float) -> CheckResult:
         start = now - check.window_seconds
-        observed = self.store.aggregate(
-            check.service,
-            check.version,
-            check.metric,
-            check.aggregation,
-            start,
-            now,
+        values = self.store.values_in_window(
+            check.service, check.version, check.metric, start, now
         )
+        samples = len(values)
+        observed = aggregate_values(check.aggregation, values)
         if observed is None:
-            return CheckResult(check, now, CheckOutcome.INCONCLUSIVE, None, None)
+            return CheckResult(
+                check, now, CheckOutcome.INCONCLUSIVE, None, None, samples=samples
+            )
         if check.is_relative:
             baseline = self.store.aggregate(
                 check.service,
@@ -87,7 +89,12 @@ class CheckEvaluator:
             )
             if baseline is None:
                 return CheckResult(
-                    check, now, CheckOutcome.INCONCLUSIVE, observed, None
+                    check,
+                    now,
+                    CheckOutcome.INCONCLUSIVE,
+                    observed,
+                    None,
+                    samples=samples,
                 )
             reference = baseline * check.tolerance
         else:
@@ -98,7 +105,7 @@ class CheckEvaluator:
             if check.compare(observed, reference)
             else CheckOutcome.FAIL
         )
-        return CheckResult(check, now, outcome, observed, reference)
+        return CheckResult(check, now, outcome, observed, reference, samples=samples)
 
     def evaluate_all(self, checks: tuple[Check, ...], now: float) -> list[CheckResult]:
         """Evaluate every check at time *now*."""

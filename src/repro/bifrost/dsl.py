@@ -56,6 +56,7 @@ _PHASE_SCALARS = {
 _CHECK_SCALARS = {
     "metric", "aggregation", "operator", "threshold", "baseline",
     "tolerance", "window", "interval", "kind", "service", "version",
+    "rule",
 }
 
 
@@ -152,6 +153,14 @@ def parse_strategy(text: str) -> Strategy:
         # default) and may target another service than the phase's —
         # e.g. the "topology" pseudo-service for the overall score.
         default_operator = ">=" if kind == "health" else "<="
+        default_aggregation = "mean"
+        if kind == "slo":
+            # SLO checks fail when the burn-rate gate value exceeds the
+            # threshold anywhere in the window; "max burn <= 1.0" is the
+            # natural "never burning" gate, so those are the defaults.
+            default_aggregation = "max"
+            if threshold is None and baseline is None:
+                threshold = "1.0"
         checks.append(
             Check(
                 name=check_name,
@@ -160,9 +169,10 @@ def parse_strategy(text: str) -> Strategy:
                 version=check_fields.get("version")
                 or phase_fields.get("experimental", ""),
                 metric=check_fields.get("metric", "response_time"),
-                aggregation=check_fields.get("aggregation", "mean"),
+                aggregation=check_fields.get("aggregation", default_aggregation),
                 operator=check_fields.get("operator", default_operator),
                 kind=kind,
+                rule=check_fields.get("rule"),
                 threshold=float(threshold) if threshold is not None else None,
                 baseline_version=baseline,
                 tolerance=float(check_fields.get("tolerance", "1.0")),
@@ -325,6 +335,8 @@ def strategy_to_dsl(strategy: Strategy) -> str:
             out.append(f"    check {check.name}")
             if check.kind != "metric":
                 out.append(f"      kind {check.kind}")
+            if check.rule is not None:
+                out.append(f"      rule {check.rule}")
             if check.service != phase.service:
                 out.append(f"      service {check.service}")
             if check.version != phase.experimental_version:

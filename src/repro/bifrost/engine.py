@@ -49,6 +49,7 @@ from repro.bifrost.model import (
 from repro.bifrost.state_machine import StateMachine
 from repro.microservices.application import Application
 from repro.obs.events import (
+    DECISION_RECORDED,
     ENGINE_CHECK,
     ENGINE_FINALIZED,
     ENGINE_PHASE_ENTERED,
@@ -60,6 +61,7 @@ from repro.obs.events import (
     JOURNAL_SNAPSHOT,
 )
 from repro.obs.observer import NULL_OBSERVER, Observer
+from repro.obs.provenance import evidence_margin
 from repro.routing.proxy import VersionRouter
 from repro.routing.rules import AudienceFilter, ExperimentRoute
 from repro.routing.splitter import (
@@ -74,6 +76,8 @@ from repro.telemetry.store import MetricStore
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.bifrost.journal import Journal, SnapshotStore
+    from repro.obs.alerts import AlertEngine
+    from repro.obs.events import Event
     from repro.toggles.store import ToggleStore
 
 
@@ -192,10 +196,25 @@ class BifrostEngine:
         self.snapshots = snapshots
         self.toggles = toggles
         self.obs = observer or NULL_OBSERVER
+        #: Optional burn-rate alert engine whose firing rules annotate
+        #: decision nodes (wired by middleware ``enable_alerts``).
+        self.alerts: "AlertEngine | None" = None
+        #: Optional provider of active-fault labels at a logical time
+        #: (wired by middleware from its fault campaigns); decisions
+        #: record its answer so a rollback names the fault that caused it.
+        self.active_faults_of: Callable[[float], tuple[str, ...]] | None = None
         self._counter = itertools.count(1)
         self._alive = True
         self._catchup: _CatchupQueue | None = None
         self._now_override: float | None = None
+
+    def _emit(self, kind: str, time: float, **data: object) -> "Event | None":
+        """Emit one event and feed it to the live provenance fold."""
+        event = self.obs.emit(kind, time, **data)
+        tracker = self.obs.provenance
+        if event is not None and tracker is not None:
+            tracker.record(event)
+        return event
 
     # -- liveness and durability plumbing ----------------------------------
 
@@ -291,7 +310,7 @@ class BifrostEngine:
         )
         self.snapshots.save(snapshot)
         if self.obs.enabled:
-            self.obs.emit(
+            self._emit(
                 JOURNAL_SNAPSHOT,
                 self._now,
                 last_lsn=snapshot.last_lsn,
@@ -344,7 +363,7 @@ class BifrostEngine:
             "submitted", {"strategy": strategy_to_dict(strategy), "start": start}
         )
         if self.obs.enabled:
-            self.obs.emit(
+            self._emit(
                 ENGINE_SUBMITTED,
                 self._now,
                 strategy=strategy.name,
@@ -380,7 +399,7 @@ class BifrostEngine:
             {"strategy": execution.strategy.name, "phase": phase_name},
         )
         if self.obs.enabled:
-            self.obs.emit(
+            self._emit(
                 ENGINE_PHASE_ENTERED,
                 now,
                 strategy=execution.strategy.name,
@@ -497,15 +516,29 @@ class BifrostEngine:
                 }
             )
             if observing:
-                self.obs.emit(
+                # The payload is a complete Evidence record (see
+                # repro.obs.provenance): window bounds, sample count and
+                # margin travel with the event so an exported stream
+                # reconstructs the decision DAG without the store.
+                self._emit(
                     ENGINE_CHECK,
                     now,
                     strategy=execution.strategy.name,
                     phase=phase.name,
                     check=check.name,
+                    service=check.service,
+                    version=check.version,
+                    metric=check.metric,
+                    aggregation=check.aggregation,
+                    operator=check.operator,
+                    window_start=now - check.window_seconds,
+                    samples=result.samples,
                     outcome=result.outcome.value,
                     observed=result.observed,
                     reference=result.reference,
+                    margin=evidence_margin(
+                        check.operator, result.observed, result.reference
+                    ),
                     duration_s=result.duration_s,
                 )
                 self.obs.metrics.counter(
@@ -562,7 +595,7 @@ class BifrostEngine:
                     },
                 )
                 if self.obs.enabled:
-                    self.obs.emit(
+                    self._emit(
                         ENGINE_WINNER,
                         now,
                         strategy=execution.strategy.name,
@@ -654,7 +687,7 @@ class BifrostEngine:
                 },
             )
             if self.obs.enabled:
-                self.obs.emit(
+                self._emit(
                     ENGINE_ROLLOUT,
                     self._now,
                     strategy=execution.strategy.name,
@@ -679,13 +712,22 @@ class BifrostEngine:
         trigger: str,
         action: Action,
     ) -> None:
-        """Emit the glass-box event and counter for one state change."""
+        """Emit the glass-box transition event plus its decision node.
+
+        The decision event is the provenance layer's unit of record: it
+        links the evidence seqs of the deciding phase stay, the alert
+        rules firing and the transient faults active at decision time to
+        the transition it annotates, so `build_provenance` over the
+        exported stream reconstructs the exact causal DAG the engine saw.
+        """
         if not self.obs.enabled:
             return
-        self.obs.emit(
+        now = self._now
+        strategy = execution.strategy.name
+        transition = self._emit(
             ENGINE_TRANSITION,
-            self._now,
-            strategy=execution.strategy.name,
+            now,
+            strategy=strategy,
             source=source,
             target=target,
             trigger=trigger,
@@ -693,6 +735,34 @@ class BifrostEngine:
         )
         self.obs.metrics.counter(
             "bifrost_transitions_total", trigger=trigger
+        ).increment()
+        tracker = self.obs.provenance
+        evidence = (
+            list(tracker.stay_evidence(strategy)) if tracker is not None else []
+        )
+        alerts = list(self.alerts.active()) if self.alerts is not None else []
+        faults = (
+            list(self.active_faults_of(now))
+            if self.active_faults_of is not None
+            else []
+        )
+        terminal = target in TERMINAL_STATES
+        self._emit(
+            DECISION_RECORDED,
+            now,
+            strategy=strategy,
+            source=source,
+            target=target,
+            trigger=trigger,
+            action=action.value,
+            transition_seq=None if transition is None else transition.seq,
+            evidence=evidence,
+            alerts=alerts,
+            faults=faults,
+            terminal=terminal,
+        )
+        self.obs.metrics.counter(
+            "bifrost_decisions_total", terminal=str(terminal).lower()
         ).increment()
 
     def _transition(
@@ -794,7 +864,7 @@ class BifrostEngine:
             },
         )
         if self.obs.enabled:
-            self.obs.emit(
+            self._emit(
                 ENGINE_FINALIZED,
                 self._now,
                 strategy=execution.strategy.name,
@@ -858,7 +928,7 @@ class BifrostEngine:
             },
         )
         if self.obs.enabled:
-            self.obs.emit(
+            self._emit(
                 ENGINE_ROUTE,
                 self._now,
                 strategy=execution.strategy.name,

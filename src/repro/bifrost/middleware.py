@@ -19,7 +19,12 @@ from repro.bifrost.journal import Journal, SnapshotPolicy, SnapshotStore
 from repro.bifrost.model import EXECUTION_MODES, Strategy, StrategyOutcome
 from repro.bifrost.recovery import EngineSupervisor, RestartPolicy
 from repro.microservices.application import Application
-from repro.microservices.faults import EngineCrash, FaultCampaign, NetworkState
+from repro.microservices.faults import (
+    EngineCrash,
+    FaultCampaign,
+    NetworkState,
+    describe_fault,
+)
 from repro.microservices.resilience import ResilienceLayer
 from repro.microservices.runtime import RequestOutcome, Runtime
 from repro.obs.observer import NULL_OBSERVER, Observer
@@ -30,6 +35,7 @@ from repro.toggles.store import ToggleStore
 from repro.traffic.workload import Request
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.alerts import AlertEngine, AlertRule
     from repro.topology.graph import InteractionGraph
     from repro.topology.streaming import (
         HealthScorer,
@@ -85,6 +91,7 @@ class Bifrost:
             network=network,
         )
         durable = durable or journal is not None
+        self.alert_engine: "AlertEngine | None" = None
         self.journal: Journal | None = None
         self.snapshots: SnapshotStore | None = None
         self.supervisor: EngineSupervisor | None = None
@@ -98,7 +105,7 @@ class Bifrost:
                 # Every (re)started engine shares the durable journal,
                 # snapshot store, and surviving data plane, but gets a
                 # fresh executor: a crashed engine's queued work is lost.
-                return BifrostEngine(
+                engine = BifrostEngine(
                     simulation=self.simulation,
                     application=application,
                     router=self.router,
@@ -109,6 +116,12 @@ class Bifrost:
                     toggles=toggles,
                     observer=self.observer,
                 )
+                # The alert engine and fault campaigns survive a crash
+                # (they live on the middleware, not the engine), so a
+                # restarted engine's decisions keep their annotations.
+                engine.alerts = self.alert_engine
+                engine.active_faults_of = self._active_faults
+                return engine
 
             self.supervisor = EngineSupervisor(
                 factory,
@@ -129,6 +142,7 @@ class Bifrost:
                 toggles=toggles,
                 observer=self.observer,
             )
+            self._engine.active_faults_of = self._active_faults
         self.outcomes: list[RequestOutcome] = []
         self.campaigns: list[FaultCampaign] = []
         self.live_health: "LiveHealthMonitor | None" = None
@@ -224,6 +238,45 @@ class Bifrost:
         self.streaming_builder = builder
         self.live_health = monitor
         return monitor
+
+    def _active_faults(self, now: float) -> tuple[str, ...]:
+        """Labels of every installed transient fault active at *now*.
+
+        The engine records this answer on each decision node, so a
+        rollback provenance report names the fault that caused it.
+        """
+        labels = {
+            describe_fault(fault)
+            for campaign in self.campaigns
+            for fault in campaign.active_at(now)
+        }
+        return tuple(sorted(labels))
+
+    def enable_alerts(
+        self, rules: "Iterable[AlertRule]", interval: float = 5.0
+    ) -> "AlertEngine":
+        """Attach a multi-window burn-rate alert engine to this middleware.
+
+        The engine evaluates *rules* every *interval* logical seconds
+        over the shared metric store, publishes each rule's burn-rate
+        gate under the ``alerts`` pseudo-version — which is where
+        ``kind slo`` checks of submitted strategies read it — and emits
+        ``alert.fired`` / ``alert.resolved`` events into the glass box.
+        Firing rules annotate every engine decision node; on a durable
+        middleware, restarted engines re-wire themselves to the same
+        alert engine.  Call before submitting strategies with slo checks.
+        """
+        from repro.obs.alerts import AlertEngine
+
+        if self.alert_engine is not None:
+            raise ConfigurationError("alerts already enabled on this middleware")
+        engine = AlertEngine(
+            self.store, rules, observer=self.observer, interval=interval
+        )
+        engine.attach(self.simulation)
+        self.alert_engine = engine
+        self.engine.alerts = engine
+        return engine
 
     def submit(self, strategy: Strategy | str, at: float | None = None) -> StrategyExecution:
         """Submit a strategy object or DSL text for execution.

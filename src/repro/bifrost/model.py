@@ -53,10 +53,12 @@ class Action(enum.Enum):
 
 _OPERATORS = {"<", "<=", ">", ">="}
 
-#: Check kinds: plain metric checks and topology-health checks.
+#: Check kinds: plain metric checks, topology-health checks, and
+#: burn-rate SLO checks gating on an alert rule's published burn stream.
 METRIC_CHECK_KIND = "metric"
 HEALTH_CHECK_KIND = "health"
-_CHECK_KINDS = frozenset({METRIC_CHECK_KIND, HEALTH_CHECK_KIND})
+SLO_CHECK_KIND = "slo"
+_CHECK_KINDS = frozenset({METRIC_CHECK_KIND, HEALTH_CHECK_KIND, SLO_CHECK_KIND})
 
 
 @dataclass(frozen=True)
@@ -77,7 +79,13 @@ class Check:
       under the ``live`` pseudo-version must satisfy the threshold.
       Version and metric are normalized to those canonical values at
       construction, so a health check is a threshold check over the
-      ``health.*`` stream and evaluates through the same machinery.
+      ``health.*`` stream and evaluates through the same machinery,
+    - **slo** checks (``kind="slo"``) gate on a burn-rate alert rule's
+      published gate stream (:mod:`repro.obs.alerts`): the rule named by
+      ``rule`` must keep its burn below the threshold.  Version and
+      metric normalize to the rule's canonical store address
+      ``(service, "alerts", "burn:<rule>")``, so an slo check is again
+      just a threshold check over a pseudo-metric stream.
 
     Attributes:
         name: check identifier within the phase.
@@ -94,7 +102,9 @@ class Check:
         interval_seconds: per-check evaluation interval (Fig 4.3's
             time-based execution of multiple checks); None inherits the
             phase's interval.
-        kind: ``"metric"`` (default) or ``"health"``.
+        kind: ``"metric"`` (default), ``"health"``, or ``"slo"``.
+        rule: name of the burn-rate alert rule an slo check gates on
+            (slo checks only).
     """
 
     name: str
@@ -109,6 +119,7 @@ class Check:
     window_seconds: float = 30.0
     interval_seconds: float | None = None
     kind: str = METRIC_CHECK_KIND
+    rule: str | None = None
 
     def __post_init__(self) -> None:
         if self.kind not in _CHECK_KINDS:
@@ -137,6 +148,31 @@ class Check:
 
             object.__setattr__(self, "version", HEALTH_VERSION)
             object.__setattr__(self, "metric", HEALTH_METRIC)
+        if self.kind == SLO_CHECK_KIND:
+            if not self.rule:
+                raise ConfigurationError(
+                    f"check {self.name!r}: slo checks need a rule name"
+                )
+            if self.baseline_version is not None:
+                raise ConfigurationError(
+                    f"check {self.name!r}: slo checks take a threshold, "
+                    "not a baseline_version"
+                )
+            if self.threshold is None:
+                raise ConfigurationError(
+                    f"check {self.name!r}: slo checks need a threshold"
+                )
+            # Like health checks, slo checks live at a canonical store
+            # address: the alert engine publishes each rule's gate value
+            # under (service, ALERTS_VERSION, burn:<rule>).
+            from repro.obs.alerts import ALERTS_VERSION, alert_metric
+
+            object.__setattr__(self, "version", ALERTS_VERSION)
+            object.__setattr__(self, "metric", alert_metric(self.rule))
+        elif self.rule is not None:
+            raise ConfigurationError(
+                f"check {self.name!r}: rule is only valid for slo checks"
+            )
         if (self.threshold is None) == (self.baseline_version is None):
             raise ConfigurationError(
                 f"check {self.name!r}: set exactly one of threshold / "
@@ -368,6 +404,7 @@ def check_to_dict(check: Check) -> dict:
         "window_seconds": check.window_seconds,
         "interval_seconds": check.interval_seconds,
         "kind": check.kind,
+        "rule": check.rule,
     }
 
 
@@ -387,6 +424,7 @@ def check_from_dict(data: Mapping) -> Check:
             window_seconds=data["window_seconds"],
             interval_seconds=data["interval_seconds"],
             kind=data.get("kind", METRIC_CHECK_KIND),
+            rule=data.get("rule"),
         )
     except (KeyError, TypeError) as exc:
         raise ValidationError(f"malformed check document: {exc}") from exc

@@ -84,6 +84,13 @@ class LiveRunResult:
     def executions(self) -> list[StrategyExecution]:
         return self.engine.executions
 
+    @property
+    def provenance(self):
+        """The live engine's decision-provenance graph (None when the
+        observer's provenance fold was disabled)."""
+        tracker = self.observer.provenance
+        return None if tracker is None else tracker.graph()
+
 
 class _LiveServer:
     """One HTTP server: one (service, version) deployment."""

@@ -55,6 +55,17 @@ class ReplayRunResult:
     def executions(self) -> list[StrategyExecution]:
         return self.engine.executions
 
+    @property
+    def provenance(self):
+        """The replayed engine's decision-provenance graph.
+
+        For a faithful replay this is digest-equal to the recording's
+        :meth:`~repro.exec.recording.Recording.provenance` — the same
+        fold over the same event stream.
+        """
+        tracker = self.observer.provenance
+        return None if tracker is None else tracker.graph()
+
 
 @dataclass
 class ReplayDiff:

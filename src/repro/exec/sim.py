@@ -44,6 +44,13 @@ class SimRunResult:
     def store(self):
         return self.middleware.store
 
+    @property
+    def provenance(self):
+        """The engine-side decision-provenance graph (None when the run
+        was dark or the observer's provenance fold was disabled)."""
+        tracker = self.middleware.observer.provenance
+        return None if tracker is None else tracker.graph()
+
 
 def _record_outcome(outcome: RequestOutcome) -> RecordedRequest:
     request = outcome.request

@@ -29,6 +29,7 @@ from repro.fleet.orchestrator import (
     OUTCOME_PROMOTED,
     OUTCOME_ROLLED_BACK,
     OUTCOME_SHED,
+    SHED_BURN,
     SHED_CRASH_LOOP,
     SHED_FLEET_DEADLINE,
     SHED_HEALTH,
@@ -59,6 +60,7 @@ __all__ = [
     "OUTCOME_PROMOTED",
     "OUTCOME_ROLLED_BACK",
     "OUTCOME_SHED",
+    "SHED_BURN",
     "SHED_CRASH_LOOP",
     "SHED_DEADLINE",
     "SHED_FLEET_DEADLINE",

@@ -75,6 +75,7 @@ from repro.obs.events import (
     FLEET_SLOT_COMMITTED,
     FLEET_SLOT_STARTED,
 )
+from repro.obs.alerts import AlertEngine, AlertRule
 from repro.obs.observer import NULL_OBSERVER, Observer
 from repro.routing.proxy import VersionRouter
 from repro.simulation.engine import SimulationEngine
@@ -112,6 +113,7 @@ _ENGINE_OUTCOMES = {
 SHED_CRASH_LOOP = "crash_loop"
 SHED_HEALTH = "health"
 SHED_FLEET_DEADLINE = "fleet_deadline"
+SHED_BURN = "slo_burn"
 
 
 class OrchestratorKilled(Exception):
@@ -194,6 +196,13 @@ class FleetConfig:
         bulkheads: fault isolation on (the safe default); off, one
             experiment's hard fault aborts the fleet — kept only so the
             scenario fuzzer can demonstrate the contamination.
+        slo_objective: error-budget SLO target in (0, 1) for each
+            experiment's burn-rate rule (None disables burn-rate
+            shedding); a burning experiment is shed with reason
+            ``slo_burn`` before its deadline.
+        slo_fast_window_seconds / slo_slow_window_seconds /
+            slo_burn_threshold: the multi-window burn-rate rule's
+            parameters (see :class:`repro.obs.alerts.AlertRule`).
         seed: root seed of the deterministic traffic feed.
     """
 
@@ -209,6 +218,10 @@ class FleetConfig:
     restart_max: int = 3
     restart_window_slots: int | None = None
     bulkheads: bool = True
+    slo_objective: float | None = None
+    slo_fast_window_seconds: float = 30.0
+    slo_slow_window_seconds: float = 120.0
+    slo_burn_threshold: float = 2.0
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -226,6 +239,14 @@ class FleetConfig:
             raise ValidationError("max_repeats must be >= 0")
         if self.restart_max < 0:
             raise ValidationError("restart_max must be >= 0")
+        if self.slo_objective is not None and not 0.0 < self.slo_objective < 1.0:
+            raise ValidationError("slo_objective must be in (0, 1)")
+        if self.slo_fast_window_seconds <= 0 or self.slo_slow_window_seconds <= 0:
+            raise ValidationError("slo windows must be positive")
+        if self.slo_slow_window_seconds < self.slo_fast_window_seconds:
+            raise ValidationError("slo_slow_window_seconds must be >= fast")
+        if self.slo_burn_threshold <= 0:
+            raise ValidationError("slo_burn_threshold must be positive")
 
     def to_dict(self) -> dict:
         return {
@@ -241,13 +262,20 @@ class FleetConfig:
             "restart_max": self.restart_max,
             "restart_window_slots": self.restart_window_slots,
             "bulkheads": self.bulkheads,
+            "slo_objective": self.slo_objective,
+            "slo_fast_window_seconds": self.slo_fast_window_seconds,
+            "slo_slow_window_seconds": self.slo_slow_window_seconds,
+            "slo_burn_threshold": self.slo_burn_threshold,
             "seed": self.seed,
         }
 
     @classmethod
     def from_dict(cls, data: Mapping) -> "FleetConfig":
+        # Tolerant of missing keys so WALs written before a config field
+        # existed still recover with that field's default.
+        defaults = cls().to_dict()
         try:
-            return cls(**{k: data[k] for k in cls().to_dict()})
+            return cls(**{k: data.get(k, default) for k, default in defaults.items()})
         except (KeyError, TypeError) as exc:
             raise ValidationError(f"malformed fleet config: {exc}") from exc
 
@@ -452,6 +480,28 @@ class _Bulkhead:
         self.router = VersionRouter()
         self.strategy = fleet_strategy(name, self.service, gene, config)
         self.quarantined = False
+        # Burn-rate sentinel over this experiment's own error stream.
+        # publish=False: the gate samples would land in the bulkhead's
+        # store and perturb crash-recovery store equality; the fleet
+        # consumes verdicts directly via the watchdog instead.
+        self.alerts: AlertEngine | None = None
+        if config.slo_objective is not None:
+            self.alerts = AlertEngine(
+                self.store,
+                [
+                    AlertRule(
+                        name=f"{name}-slo",
+                        service=self.service,
+                        version=EXPERIMENTAL_VERSION,
+                        objective=config.slo_objective,
+                        fast_window=config.slo_fast_window_seconds,
+                        slow_window=config.slo_slow_window_seconds,
+                        burn_threshold=config.slo_burn_threshold,
+                    )
+                ],
+                observer=observer,
+                publish=False,
+            )
         window = (
             None
             if config.restart_window_slots is None
@@ -482,6 +532,7 @@ class _Bulkhead:
             self.config.slot_seconds,
             self.name,
         )
+        engine.alerts = self.alerts
         return engine
 
     @property
@@ -576,6 +627,11 @@ class FleetOrchestrator:
                 self.obs,
             )
 
+        if self.watchdog.burning_of is None and any(
+            b.alerts is not None for b in self.bulkheads.values()
+        ):
+            self.watchdog.burning_of = self._burning_experiments
+
         state = _resume or _ResumeState()
         self.cursor = state.cursor
         self.started = set(state.started)
@@ -657,6 +713,24 @@ class FleetOrchestrator:
             if name in self.started and name not in self.outcomes
         ]
 
+    def _burning_experiments(self, slot: int) -> tuple[str, ...]:
+        """Holding experiments whose burn-rate SLO is firing at *slot*.
+
+        Pure in (bulkhead stores, slot) — the alert engines evaluate
+        multi-window burns from store contents alone, so recovery from a
+        WAL reaches the same verdicts and crash-consistency holds.
+        """
+        now = slot * self.config.slot_seconds
+        burning = []
+        for name in self._holding():
+            bulkhead = self.bulkheads[name]
+            if bulkhead.alerts is None or bulkhead.quarantined:
+                continue
+            evaluations = bulkhead.alerts.evaluate(now)
+            if any(evaluation.firing for evaluation in evaluations):
+                burning.append(name)
+        return tuple(sorted(burning))
+
     def _request_for(self, bulkhead: _Bulkhead, slot: int) -> AdmissionRequest:
         gene, spec = bulkhead.gene, bulkhead.spec
         latest = max(gene.start, self.problem.horizon - gene.duration)
@@ -735,6 +809,15 @@ class FleetOrchestrator:
                     holders, key=lambda n: (self.bulkheads[n].spec.weight, n)
                 )
                 self._shed(victim, SHED_HEALTH, t0, slot_shed, slot_outcomes)
+
+        # Burn-rate shedding: an experiment torching its own error
+        # budget is cut before its deadline, however healthy the
+        # substrate looks.
+        for name in verdict.burning:
+            if name in self.started and name not in slot_outcomes and (
+                name not in self.outcomes
+            ):
+                self._shed(name, SHED_BURN, t0, slot_shed, slot_outcomes)
 
         # Admission: pending experiments whose planned start has arrived.
         reserved = [
@@ -1011,6 +1094,10 @@ __all__ = [
     "K_SLOT",
     "K_SLOT_STARTED",
     "OrchestratorKilled",
+    "SHED_BURN",
+    "SHED_CRASH_LOOP",
+    "SHED_FLEET_DEADLINE",
+    "SHED_HEALTH",
     "OUTCOME_ABORTED",
     "OUTCOME_INCONCLUSIVE",
     "OUTCOME_PROMOTED",

@@ -35,21 +35,26 @@ class WatchdogVerdict:
         score: substrate health in [0, 1], or None when unknown.
         pause: stop admitting new experiments this slot.
         shed: drop the lowest-priority running experiment this slot.
+        burning: names of running experiments whose burn-rate SLO is
+            firing — the orchestrator sheds these before their deadline
+            instead of letting them burn through the error budget.
     """
 
     score: float | None
     pause: bool
     shed: bool
+    burning: tuple[str, ...] = ()
 
 
 class FleetWatchdog:
-    """Turns a health signal into per-slot pause/shed verdicts."""
+    """Turns health and burn-rate signals into per-slot verdicts."""
 
     def __init__(
         self,
         health_of: Callable[[], float | None] | None = None,
         pause_below: float = 0.6,
         shed_below: float = 0.3,
+        burning_of: Callable[[int], tuple[str, ...]] | None = None,
     ) -> None:
         if not 0.0 <= shed_below <= pause_below <= 1.0:
             raise ValidationError(
@@ -59,6 +64,7 @@ class FleetWatchdog:
         self.health_of = health_of
         self.pause_below = pause_below
         self.shed_below = shed_below
+        self.burning_of = burning_of
 
     @classmethod
     def from_monitor(
@@ -75,12 +81,22 @@ class FleetWatchdog:
         )
 
     def assess(self, slot: int) -> WatchdogVerdict:
-        """Judge the substrate for *slot*; unknown health never trips."""
+        """Judge the substrate for *slot*; unknown health never trips.
+
+        Burn-rate verdicts are orthogonal to the health score: an
+        experiment can burn its own error budget on a perfectly healthy
+        substrate, so ``burning`` is computed even when health is
+        unknown.
+        """
+        burning = self.burning_of(slot) if self.burning_of is not None else ()
         score = self.health_of() if self.health_of is not None else None
         if score is None:
-            return WatchdogVerdict(score=None, pause=False, shed=False)
+            return WatchdogVerdict(
+                score=None, pause=False, shed=False, burning=burning
+            )
         return WatchdogVerdict(
             score=score,
             pause=score < self.pause_below,
             shed=score < self.shed_below,
+            burning=burning,
         )

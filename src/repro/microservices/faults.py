@@ -299,6 +299,26 @@ class CrashTarget(Protocol):
 TransientFault = Union[ErrorBurst, LatencySpike, VersionCrash, Partition, EngineCrash]
 
 
+def describe_fault(fault: TransientFault) -> str:
+    """Deterministic one-token label for a transient fault.
+
+    Decision-provenance nodes (:mod:`repro.obs.provenance`) record these
+    labels so a rollback report can name the fault that was active when
+    the engine decided.  Labels carry the fault's identity but not its
+    window — two bursts on the same endpoint are the same cause.
+    """
+    if isinstance(fault, ErrorBurst):
+        return f"ErrorBurst:{fault.service}@{fault.version}/{fault.endpoint}"
+    if isinstance(fault, LatencySpike):
+        return f"LatencySpike:{fault.service}@{fault.version}/{fault.endpoint}"
+    if isinstance(fault, VersionCrash):
+        return f"VersionCrash:{fault.service}@{fault.version}"
+    if isinstance(fault, Partition):
+        pair = sorted((fault.service_a, fault.service_b))
+        return f"Partition:{pair[0]}|{pair[1]}"
+    return "EngineCrash"
+
+
 @dataclass(frozen=True)
 class CampaignEvent:
     """One activation or reversion performed by a campaign."""

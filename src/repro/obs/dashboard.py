@@ -95,9 +95,18 @@ def glass_box_panel(
         for event in recent:
             lines.append("  " + event.describe())
 
-    timelines = reconstruct_timelines(log)
+    # A ring that evicted events holds only a suffix of the run; fold
+    # the export-shaped stream (sentinel first) so the panel says so
+    # instead of passing a partial history off as the whole story.
+    stream = list(log)
+    if log.dropped:
+        stream.insert(0, log.truncation_sentinel())
+    timelines = reconstruct_timelines(stream, allow_truncated=True)
     if timelines:
         lines.append(_rule("experiments", width))
+        dropped = max(t.truncated_dropped for t in timelines.values())
+        if dropped:
+            lines.append(f"  [TRUNCATED: {dropped} events dropped]")
         for name in sorted(timelines):
             lines.append(_timeline_line(timelines[name]))
     lines.append("=" * width)

@@ -84,6 +84,16 @@ FENRIR_SCHEDULE = "fenrir.schedule"
 
 TOPOLOGY_HEALTH = "topology.health_published"
 
+#: Burn-rate alerting (:mod:`repro.obs.alerts`): edge-triggered firing
+#: and resolution of multi-window error-budget rules.
+ALERT_FIRED = "alert.fired"
+ALERT_RESOLVED = "alert.resolved"
+
+#: Decision provenance (:mod:`repro.obs.provenance`): one node per
+#: engine state transition, linking the evidence records (check-event
+#: seqs), active alerts, and active faults that caused it.
+DECISION_RECORDED = "decision.recorded"
+
 #: Sentinel record kind marking that a bounded ring evicted events before
 #: an export, so the exported stream is missing an unknown-length prefix.
 OBS_TRUNCATED = "obs.truncated"

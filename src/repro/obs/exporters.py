@@ -65,7 +65,10 @@ def render_prometheus(
     """Render registry and/or metric-store contents as exposition text.
 
     Registry families come out under ``<prefix>_<family>`` with their
-    ``# TYPE`` headers.  Metric-store series are summarized as
+    ``# TYPE`` headers.  A histogram family renders as one Prometheus
+    *summary*: a single ``# TYPE <prefix>_<family> summary`` header
+    covering its quantile samples plus the conformant ``_count``/``_sum``
+    pair.  Metric-store series are summarized as
     ``<prefix>_store_samples`` (sample count) and ``<prefix>_store_last``
     (most recent value) per (service, version, metric) — the windowed
     semantics stay in the store; exposition shows the live edge.
@@ -74,12 +77,24 @@ def render_prometheus(
     if registry is not None and registry.enabled:
         last_family = None
         for sample in registry.collect():
-            family = (sample.name, sample.kind)
-            if family != last_family:
-                lines.append(
+            if sample.kind == "histogram":
+                # _count/_sum/quantile samples all belong to one summary
+                # family named after the base metric.
+                base = sample.name
+                for suffix in ("_count", "_sum"):
+                    if base.endswith(suffix):
+                        base = base[: -len(suffix)]
+                        break
+                family = (base, sample.kind)
+                header = f"# TYPE {sanitize_metric_name(f'{prefix}_{base}')} summary"
+            else:
+                family = (sample.name, sample.kind)
+                header = (
                     f"# TYPE {sanitize_metric_name(f'{prefix}_{sample.name}')} "
-                    f"{'untyped' if sample.kind == 'histogram' else sample.kind}"
+                    f"{sample.kind}"
                 )
+            if family != last_family:
+                lines.append(header)
                 last_family = family
             lines.append(
                 format_sample(f"{prefix}_{sample.name}", sample.labels, sample.value)

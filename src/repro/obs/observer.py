@@ -23,6 +23,7 @@ from time import perf_counter
 from typing import TYPE_CHECKING
 
 from repro.obs.events import Event, EventLog
+from repro.obs.provenance import ProvenanceTracker
 from repro.obs.registry import MetricRegistry
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -83,11 +84,19 @@ class Observer:
         enabled: bool = True,
         event_capacity: int = 65_536,
         histogram_capacity: int = 4096,
+        provenance: bool = True,
     ) -> None:
         self.enabled = enabled
         self.events = EventLog(event_capacity if enabled else 1)
         self.metrics = MetricRegistry(
             enabled=enabled, histogram_capacity=histogram_capacity
+        )
+        #: Live decision-provenance fold, fed by the engine and the alert
+        #: engine with every event they emit; None when disabled.  Unlike
+        #: the ring-buffered event log this never evicts, so the graph
+        #: stays complete even after the log truncates.
+        self.provenance: ProvenanceTracker | None = (
+            ProvenanceTracker() if (enabled and provenance) else None
         )
 
     def emit(self, kind: str, time: float, **data: object) -> Event | None:

@@ -77,6 +77,9 @@ class ExperimentTimeline:
     outcome: str | None = None
     promoted: str | None = None
     finished_at: float | None = None
+    #: Events evicted before the stream this timeline was folded from —
+    #: nonzero means the history below is a *suffix*, not the full run.
+    truncated_dropped: int = 0
 
     @property
     def check_points(self) -> list[CheckPoint]:
@@ -107,6 +110,7 @@ def reconstruct_timelines(
     ``allow_truncated=True`` to fold the surviving tail anyway.
     """
     timelines: dict[str, ExperimentTimeline] = {}
+    dropped_total = 0
     for event in events:
         if is_truncation(event):
             if not allow_truncated:
@@ -117,6 +121,7 @@ def reconstruct_timelines(
                     "export); pass allow_truncated=True to fold the "
                     "surviving tail anyway"
                 )
+            dropped_total += int(event.data.get("dropped", 0) or 0)
             continue
         if event.kind not in TIMELINE_KINDS:
             continue
@@ -168,6 +173,9 @@ def reconstruct_timelines(
             timeline.outcome = str(data["outcome"])
             timeline.promoted = data.get("promoted")
             timeline.finished_at = event.time
+    if dropped_total:
+        for timeline in timelines.values():
+            timeline.truncated_dropped = dropped_total
     return timelines
 
 
@@ -275,7 +283,10 @@ def render_ascii(timeline: ExperimentTimeline) -> str:
             header += f" at {timeline.finished_at:.1f}s"
     elif timeline.phases:
         header += " — running"
-    lines = [header]
+    lines = []
+    if timeline.truncated_dropped:
+        lines.append(f"[TRUNCATED: {timeline.truncated_dropped} events dropped]")
+    lines.append(header)
     for span in timeline.phases:
         end = f"{span.exited_at:8.1f}" if span.exited_at is not None else "     ..."
         counts = span.outcome_counts()

@@ -46,6 +46,24 @@ def supported_aggregations() -> list[str]:
     return sorted(_AGGREGATIONS)
 
 
+def aggregate_values(aggregation: str, values: list[float]) -> float | None:
+    """Apply one named aggregation to already-fetched values.
+
+    The windowless half of :meth:`MetricStore.aggregate`, for callers
+    (like the check evaluator) that need the raw window values too —
+    e.g. to report a sample count — without fetching the window twice.
+    None when *values* is empty, same as an empty window.
+    """
+    if aggregation not in _AGGREGATIONS:
+        raise ValidationError(
+            f"unknown aggregation {aggregation!r}; "
+            f"supported: {supported_aggregations()}"
+        )
+    if not values:
+        return None
+    return float(_AGGREGATIONS[aggregation](values))
+
+
 class MetricStore:
     """Timestamped samples per :class:`MetricKey` with windowed aggregation."""
 
@@ -137,15 +155,10 @@ class MetricStore:
         An empty window is a meaningful outcome (the check is
         *inconclusive*, cf. Section 4.3.2), not an error.
         """
-        if aggregation not in _AGGREGATIONS:
-            raise ValidationError(
-                f"unknown aggregation {aggregation!r}; "
-                f"supported: {supported_aggregations()}"
-            )
-        values = self.values_in_window(service, version, metric, start, end)
-        if not values:
-            return None
-        return float(_AGGREGATIONS[aggregation](values))
+        return aggregate_values(
+            aggregation,
+            self.values_in_window(service, version, metric, start, end),
+        )
 
     def merge(self, other: "MetricStore") -> None:
         """Fold all samples of *other* into this store."""

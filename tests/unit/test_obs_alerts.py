@@ -1,0 +1,196 @@
+"""Unit tests for multi-window burn-rate alerting (PR-10 tentpole).
+
+Covers rule validation, the burn arithmetic, the multi-window AND
+discipline, edge-triggered event emission, gate publication for ``kind
+slo`` checks, and the simulation-attached evaluation tick.
+"""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs.alerts import (
+    ALERTS_VERSION,
+    AlertEngine,
+    AlertRule,
+    alert_metric,
+)
+from repro.obs.events import ALERT_FIRED, ALERT_RESOLVED
+from repro.obs.observer import Observer
+from repro.simulation.engine import SimulationEngine
+from repro.telemetry.store import MetricStore
+
+
+def rule(**overrides) -> AlertRule:
+    fields = dict(
+        name="checkout-slo",
+        service="backend",
+        version="2.0.0",
+        objective=0.95,  # 5% error budget
+        fast_window=10.0,
+        slow_window=40.0,
+        burn_threshold=2.0,
+    )
+    fields.update(overrides)
+    return AlertRule(**fields)
+
+
+def feed_errors(store: MetricStore, times, error_rate: float) -> None:
+    """Record a 0/1 error stream whose mean is exactly *error_rate*."""
+    for t in times:
+        # Ten samples per tick with error_rate*10 ones.
+        ones = round(error_rate * 10)
+        for i in range(10):
+            store.record(
+                "backend", "2.0.0", "error", t, 1.0 if i < ones else 0.0
+            )
+
+
+class TestAlertRule:
+    def test_error_budget(self):
+        assert rule(objective=0.95).error_budget == pytest.approx(0.05)
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"name": ""},
+            {"objective": 0.0},
+            {"objective": 1.0},
+            {"fast_window": 0.0},
+            {"slow_window": -1.0},
+            {"fast_window": 50.0},  # slow(40) < fast
+            {"burn_threshold": 0.0},
+        ],
+    )
+    def test_invalid_rules_rejected(self, overrides):
+        with pytest.raises(ConfigurationError):
+            rule(**overrides)
+
+    def test_duplicate_rule_names_rejected(self):
+        with pytest.raises(ConfigurationError, match="duplicate"):
+            AlertEngine(MetricStore(), [rule(), rule()])
+
+    def test_non_positive_interval_rejected(self):
+        with pytest.raises(ConfigurationError, match="interval"):
+            AlertEngine(MetricStore(), [rule()], interval=0.0)
+
+
+class TestBurnEvaluation:
+    def test_empty_fast_window_yields_no_verdict_or_publication(self):
+        store = MetricStore()
+        engine = AlertEngine(store, [rule()])
+        (result,) = engine.evaluate(100.0)
+        assert result.burn is None and not result.firing
+        assert not store.values_in_window(
+            "backend", ALERTS_VERSION, alert_metric("checkout-slo"), 0.0, 200.0
+        )
+
+    def test_burn_is_error_rate_over_budget(self):
+        store = MetricStore()
+        # 10% errors against a 5% budget -> burn 2.0 in both windows.
+        feed_errors(store, [float(t) for t in range(0, 40)], 0.10)
+        engine = AlertEngine(store, [rule()])
+        (result,) = engine.evaluate(40.0)
+        assert result.fast_burn == pytest.approx(2.0)
+        assert result.slow_burn == pytest.approx(2.0)
+        assert result.burn == pytest.approx(2.0)
+
+    def test_fires_when_both_windows_exceed_threshold(self):
+        store = MetricStore()
+        # 20% errors against a 5% budget -> burn 4.0, well past 2.0.
+        feed_errors(store, [float(t) for t in range(0, 40)], 0.20)
+        engine = AlertEngine(store, [rule()])
+        (result,) = engine.evaluate(40.0)
+        assert result.burn == pytest.approx(4.0)
+        assert result.firing
+
+    def test_fires_only_when_both_windows_burn(self):
+        store = MetricStore()
+        # Long healthy history, then a burst only inside the fast window:
+        # the slow window dilutes it below threshold -> no fire yet.
+        feed_errors(store, [float(t) for t in range(0, 30)], 0.0)
+        feed_errors(store, [float(t) for t in range(30, 40)], 0.20)
+        engine = AlertEngine(store, [rule()])
+        (result,) = engine.evaluate(40.0)
+        assert result.fast_burn == pytest.approx(4.0)
+        assert result.slow_burn == pytest.approx(1.0)
+        assert result.burn == pytest.approx(1.0)  # min(fast, slow)
+        assert not result.firing
+
+    def test_empty_slow_window_falls_back_to_fast(self):
+        store = MetricStore()
+        feed_errors(store, [95.0, 96.0, 97.0], 0.20)  # only recent samples
+        engine = AlertEngine(store, [rule()])
+        (result,) = engine.evaluate(100.0)
+        assert result.slow_burn == result.fast_burn
+        assert result.firing
+
+    def test_evaluate_is_pure_in_store_and_now(self):
+        store = MetricStore()
+        feed_errors(store, [float(t) for t in range(0, 40)], 0.10)
+        first = AlertEngine(store, [rule()], publish=False).evaluate(40.0)
+        second = AlertEngine(store, [rule()], publish=False).evaluate(40.0)
+        assert first == second
+
+
+class TestEdgeTriggeredEvents:
+    def run_burst(self, observer: Observer) -> AlertEngine:
+        store = MetricStore()
+        engine = AlertEngine(store, [rule()], observer=observer)
+        feed_errors(store, [float(t) for t in range(0, 40)], 0.20)
+        engine.evaluate(40.0)  # fires
+        engine.evaluate(41.0)  # still firing: no second event
+        feed_errors(store, [float(t) for t in range(41, 80)], 0.0)
+        engine.evaluate(80.0)  # resolved
+        return engine
+
+    def test_fired_and_resolved_emitted_once_per_edge(self):
+        observer = Observer(enabled=True)
+        engine = self.run_burst(observer)
+        counts = observer.events.counts_by_kind()
+        assert counts[ALERT_FIRED] == 1
+        assert counts[ALERT_RESOLVED] == 1
+        assert engine.active() == ()
+        fired = observer.events.events(kinds={ALERT_FIRED})[0]
+        assert fired.data["rule"] == "checkout-slo"
+        assert fired.data["burn"] >= fired.data["threshold"]
+        assert observer.metrics.value(
+            "alert_transitions_total", rule="checkout-slo", state="firing"
+        ) == 1.0
+
+    def test_active_reflects_firing_state(self):
+        store = MetricStore()
+        engine = AlertEngine(store, [rule()])
+        feed_errors(store, [float(t) for t in range(0, 40)], 0.20)
+        engine.evaluate(40.0)
+        assert engine.active() == ("checkout-slo",)
+        assert engine.firing("checkout-slo")
+        assert not engine.firing("unknown")
+
+
+class TestGatePublication:
+    def test_publish_records_gate_under_alerts_version(self):
+        store = MetricStore()
+        engine = AlertEngine(store, [rule()])
+        feed_errors(store, [float(t) for t in range(0, 40)], 0.10)
+        engine.evaluate(40.0)
+        values = store.values_in_window(
+            "backend", ALERTS_VERSION, alert_metric("checkout-slo"), 0.0, 50.0
+        )
+        assert values == [pytest.approx(2.0)]
+
+    def test_publish_false_leaves_store_untouched(self):
+        store = MetricStore()
+        engine = AlertEngine(store, [rule()], publish=False)
+        feed_errors(store, [float(t) for t in range(0, 40)], 0.10)
+        before = store.snapshot()
+        engine.evaluate(40.0)
+        assert store.snapshot() == before
+
+
+class TestSimulationAttachment:
+    def test_attach_self_schedules_on_interval(self):
+        store = MetricStore()
+        simulation = SimulationEngine()
+        engine = AlertEngine(store, [rule()], interval=5.0).attach(simulation)
+        simulation.run_until(26.0)
+        assert engine.evaluations == 5  # t = 5, 10, 15, 20, 25

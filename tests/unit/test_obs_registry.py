@@ -181,3 +181,84 @@ class TestJsonlEventSink:
             log.append("k", 1.0, {"x": 2})
         events = load_jsonl(path.read_text().splitlines())
         assert events == list(log)
+
+
+def _lint_exposition(text: str) -> dict[str, str]:
+    """Prometheus format lint: returns {family: declared type}.
+
+    Asserts the invariants scrape endpoints rely on: every sample line
+    is covered by exactly one preceding ``# TYPE`` header for its
+    family, no family is declared twice or ``untyped``, and summary
+    families carry a conformant ``_count``/``_sum`` pair.
+    """
+    import re
+
+    types: dict[str, str] = {}
+    current: str | None = None
+    samples_of: dict[str, list[str]] = {}
+    for line in text.splitlines():
+        if not line:
+            continue
+        if line.startswith("# TYPE "):
+            _, _, family, declared = line.split(" ")
+            assert family not in types, f"family {family} declared twice"
+            assert declared in {"counter", "gauge", "summary"}, (
+                f"family {family} declared {declared!r}"
+            )
+            types[family] = declared
+            current = family
+            continue
+        assert not line.startswith("#"), f"unexpected comment: {line!r}"
+        name = re.match(r"[a-zA-Z_:][a-zA-Z0-9_:]*", line).group(0)
+        assert current is not None, f"sample {name} before any # TYPE"
+        base = name
+        if types[current] == "summary":
+            for suffix in ("_count", "_sum"):
+                if base.endswith(suffix):
+                    base = base[: -len(suffix)]
+        assert base == current, (
+            f"sample {name} not covered by current family {current}"
+        )
+        samples_of.setdefault(current, []).append(name)
+    for family, declared in types.items():
+        names = samples_of.get(family, [])
+        assert names, f"family {family} declared but has no samples"
+        if declared == "summary":
+            assert f"{family}_count" in names, f"{family} missing _count"
+            assert f"{family}_sum" in names, f"{family} missing _sum"
+    return types
+
+
+class TestPrometheusFormatLint:
+    def test_histograms_render_as_conformant_summaries(self):
+        registry = MetricRegistry()
+        registry.histogram("check_seconds", phase="canary").observe(0.25)
+        registry.histogram("check_seconds", phase="canary").observe(0.75)
+        text = render_prometheus(registry)
+        types = _lint_exposition(text)
+        assert types["repro_check_seconds"] == "summary"
+        assert "# TYPE repro_check_seconds summary" in text
+        # Exactly one header covers quantiles, _count, and _sum alike.
+        assert text.count("# TYPE repro_check_seconds") == 1
+        assert "repro_check_seconds_count" in text
+        assert "repro_check_seconds_sum" in text
+        assert "untyped" not in text
+
+    def test_lint_covers_every_exported_family(self):
+        registry = MetricRegistry()
+        registry.counter("events_total", kind="engine.check").increment(4)
+        registry.gauge("ring_pressure").set(0.5)
+        registry.histogram("fold_seconds").observe(0.1)
+        registry.histogram("rank_seconds", algo="ga").observe(0.2)
+        store = MetricStore()
+        store.record("backend", "1.0.0", "error", 1.0, 0.0)
+        text = render_prometheus(registry, store)
+        types = _lint_exposition(text)
+        assert types == {
+            "repro_events_total": "counter",
+            "repro_fold_seconds": "summary",
+            "repro_rank_seconds": "summary",
+            "repro_ring_pressure": "gauge",
+            "repro_store_last": "gauge",
+            "repro_store_samples": "counter",
+        }

@@ -135,3 +135,148 @@ class TestTimelineRefusal:
     def test_reconstruct_intact_stream_unchanged(self):
         timelines = reconstruct_timelines(self.engine_events().events())
         assert set(timelines) == {"s"}
+
+
+class TestSinkPolicyMatrix:
+    """load_jsonl policies composed with sink round-trips under eviction.
+
+    A :class:`JsonlEventSink` attached from the start captures the
+    lossless stream even while the bounded ring evicts; the ring's own
+    export is a suffix prefixed by the sentinel.  Every policy must
+    behave correctly against both shapes.
+    """
+
+    CAPACITY = 4
+    APPENDED = 12
+
+    def both_exports(self) -> tuple[list[str], list[str]]:
+        """(lossless sink lines, truncated ring lines) for one run."""
+        from repro.obs.exporters import JsonlEventSink
+
+        log = EventLog(capacity=self.CAPACITY)
+        buffer = io.StringIO()
+        with JsonlEventSink(buffer) as sink:
+            sink.attach(log, replay=True)
+            for i in range(self.APPENDED):
+                log.append("engine.check", float(i), {"i": i})
+        assert log.dropped == self.APPENDED - self.CAPACITY
+        return buffer.getvalue().splitlines(), list(log.jsonl_lines())
+
+    def test_sentinel_is_first_line_of_ring_export(self):
+        _, ring_lines = self.both_exports()
+        import json
+
+        first = json.loads(ring_lines[0])
+        assert first["kind"] == OBS_TRUNCATED
+        assert first["data"]["dropped"] == self.APPENDED - self.CAPACITY
+        # Exactly one sentinel, and only ever at the head.
+        kinds = [json.loads(line)["kind"] for line in ring_lines]
+        assert kinds.count(OBS_TRUNCATED) == 1
+
+    @pytest.mark.parametrize("policy", ["warn", "error", "ignore"])
+    def test_lossless_sink_stream_loads_under_every_policy(self, policy):
+        import warnings
+
+        sink_lines, _ = self.both_exports()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # any warn here is a bug
+            events = load_jsonl(sink_lines, on_truncated=policy)
+        assert len(events) == self.APPENDED
+        assert stream_truncation(events) is None
+        assert [e.seq for e in events] == list(range(1, self.APPENDED + 1))
+
+    def test_truncated_ring_export_warn_keeps_sentinel(self):
+        _, ring_lines = self.both_exports()
+        dropped = self.APPENDED - self.CAPACITY
+        with pytest.warns(TruncatedStreamWarning, match=f"{dropped} events"):
+            events = load_jsonl(ring_lines, on_truncated="warn")
+        assert is_truncation(events[0])
+        assert len(events) == self.CAPACITY + 1
+
+    def test_truncated_ring_export_error_raises(self):
+        _, ring_lines = self.both_exports()
+        with pytest.raises(ValidationError, match="truncated"):
+            load_jsonl(ring_lines, on_truncated="error")
+
+    def test_truncated_ring_export_ignore_is_silent(self):
+        import warnings
+
+        _, ring_lines = self.both_exports()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            events = load_jsonl(ring_lines, on_truncated="ignore")
+        assert is_truncation(events[0])
+
+    def test_ring_suffix_round_trips_exactly(self):
+        """export -> load -> re-export is byte-identical (sentinel incl.)."""
+        import json
+
+        _, ring_lines = self.both_exports()
+        events = load_jsonl(ring_lines, on_truncated="ignore")
+        redumped = [
+            json.dumps(e.as_dict(), separators=(",", ":"), sort_keys=True)
+            for e in events
+        ]
+        assert redumped == ring_lines
+
+    def test_sink_stream_is_superset_of_ring_suffix(self):
+        sink_lines, ring_lines = self.both_exports()
+        assert set(ring_lines[1:]) <= set(sink_lines)
+
+
+class TestTruncationBanner:
+    """The PR-10 satellite: truncation surfaces in renderings, loudly."""
+
+    def overflowed_engine_log(self) -> EventLog:
+        log = EventLog(capacity=4)
+        log.append(ENGINE_SUBMITTED, 0.0, {"strategy": "s", "start": 0.0})
+        for i in range(6):
+            log.append(
+                ENGINE_CHECK,
+                float(i + 1),
+                {"strategy": "s", "check": "errors", "outcome": "pass"},
+            )
+        assert log.dropped > 0
+        return log
+
+    def test_render_ascii_shows_banner(self):
+        from repro.obs.timeline import render_ascii
+
+        log = self.overflowed_engine_log()
+        stream = [log.truncation_sentinel(), *log.events()]
+        timelines = reconstruct_timelines(stream, allow_truncated=True)
+        text = render_ascii(timelines["s"])
+        assert text.splitlines()[0] == f"[TRUNCATED: {log.dropped} events dropped]"
+
+    def test_render_ascii_lossless_has_no_banner(self):
+        from repro.obs.timeline import render_ascii
+
+        log = EventLog(capacity=100)
+        log.append(ENGINE_SUBMITTED, 0.0, {"strategy": "s", "start": 0.0})
+        timelines = reconstruct_timelines(log.events())
+        assert "TRUNCATED" not in render_ascii(timelines["s"])
+
+    def test_glass_box_panel_shows_banner(self):
+        from repro.obs.dashboard import glass_box_panel
+        from repro.obs.observer import Observer
+
+        observer = Observer(enabled=True, event_capacity=4)
+        observer.emit(ENGINE_SUBMITTED, 0.0, strategy="s", start=0.0)
+        for i in range(8):
+            observer.emit(
+                ENGINE_CHECK,
+                float(i + 1),
+                strategy="s",
+                check="errors",
+                outcome="pass",
+            )
+        panel = glass_box_panel(observer)
+        assert f"[TRUNCATED: {observer.events.dropped} events dropped]" in panel
+
+    def test_glass_box_panel_lossless_has_no_banner(self):
+        from repro.obs.dashboard import glass_box_panel
+        from repro.obs.observer import Observer
+
+        observer = Observer(enabled=True)
+        observer.emit(ENGINE_SUBMITTED, 0.0, strategy="s", start=0.0)
+        assert "TRUNCATED" not in glass_box_panel(observer)
